@@ -1,0 +1,36 @@
+"""Figure 9: (a) JIT performance versus the online-filter overflow threshold,
+(b) overhead of keeping the online filter running in ballot mode.
+
+Paper results: performance peaks around a threshold of 64 (too low or too
+high hurts); the shadow online filter adds ~0.02% overhead on average with a
+2.1% worst case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.benchmark(group="figure9")
+def test_figure9a_overflow_threshold_sweep(ctx, benchmark):
+    result = benchmark.pedantic(
+        experiments.figure9a, args=(ctx,), rounds=1, iterations=1
+    )
+    result_b = experiments.figure9b(ctx)
+    print()
+    print(reporting.render_figure9(result, result_b))
+
+    rows = {r["threshold"]: r["relative_performance"] for r in result["rows"]}
+    # The paper's default of 64 sits within a few percent of the best
+    # threshold, and clearly ahead of the degenerate threshold of 1 (which
+    # forces the ballot filter almost immediately on every graph).
+    best = max(rows.values())
+    assert rows[64] >= 0.97 * best
+    assert max(rows.get(64, 0.0), rows.get(256, 0.0)) >= rows[1] - 1e-9
+    # And the sweep spans a real effect: the worst threshold loses measurably.
+    assert min(rows.values()) < max(rows.values())
+
+    # Figure 9(b): shadow-online overhead stays small on average (<5%).
+    assert result_b["average_overhead_percent"] < 5.0

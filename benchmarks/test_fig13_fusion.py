@@ -1,0 +1,62 @@
+"""Figure 13: benefit of push-pull based kernel fusion over no fusion and
+aggressive (all) fusion for BFS, BP, k-Core, PageRank and SSSP.
+
+Paper result (shape): push-pull fusion is on average ~43% faster than no
+fusion and ~25% faster than all-fusion; the iteration-heavy traversal
+algorithms (BFS, k-Core, SSSP) gain the most; all-fusion can be *slower*
+than no fusion for PageRank because its register pressure halves occupancy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments, reporting
+from repro.core.metrics import geometric_mean_speedup
+
+
+@pytest.mark.benchmark(group="figure13")
+def test_figure13_push_pull_fusion(ctx, benchmark):
+    result = benchmark.pedantic(
+        experiments.figure13, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(reporting.render_figure13(result))
+
+    averages = result["average_speedups"]
+
+    # Push-pull fusion beats no fusion on average for every algorithm.
+    for algorithm, avg in averages.items():
+        assert avg["push_pull_vs_none"] > 1.0, (algorithm, avg)
+
+    # Push-pull fusion also beats all-fusion on average overall.
+    push_pull_all = geometric_mean_speedup(
+        [avg["push_pull_vs_none"] for avg in averages.values()]
+    )
+    all_fusion_all = geometric_mean_speedup(
+        [avg["all_vs_none"] for avg in averages.values()]
+    )
+    assert push_pull_all > all_fusion_all
+
+    # The iteration-heavy algorithms gain more from fusion than the
+    # compute-heavy full-graph ones (BFS/SSSP/k-Core vs PageRank/BP).
+    traversal_gain = np.mean(
+        [averages[a]["push_pull_vs_none"] for a in ("bfs", "sssp", "kcore")
+         if a in averages]
+    )
+    dense_gain = np.mean(
+        [averages[a]["push_pull_vs_none"] for a in ("pagerank", "bp")
+         if a in averages]
+    )
+    assert traversal_gain > dense_gain
+
+    # All-fusion is not universally beneficial: on at least one
+    # PageRank/BP configuration it fails to beat no fusion.
+    dense_rows = [
+        r for r in result["rows"] if r["algorithm"] in ("pagerank", "bp")
+    ]
+    assert any(
+        r["all_fusion_speedup"] is not None and r["all_fusion_speedup"] < 1.05
+        for r in dense_rows
+    )

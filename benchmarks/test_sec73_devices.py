@@ -1,0 +1,42 @@
+"""Section 7.3: performance scaling across GPU generations (K20, K40, P100).
+
+Paper result (shape): SIMD-X improves 1.7x moving from K20 to K40 and 5.1x
+moving to P100, more than Gunrock (1.1x / 1.7x) and CuSha (1.2x / 3.5x),
+because its fused kernels re-derive their CTA count from each device's
+register file and so convert the larger machines into more resident threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments, reporting
+
+
+@pytest.mark.benchmark(group="section7_3")
+def test_section73_device_scaling(ctx, benchmark):
+    result = benchmark.pedantic(
+        experiments.section7_3, args=(ctx,), rounds=1, iterations=1
+    )
+    print()
+    print(reporting.render_section7_3(result))
+
+    rows = {r["system"]: r for r in result["rows"]}
+
+    # Every system gets faster on newer devices.
+    for system, row in rows.items():
+        speedups = row["speedup_vs_first"]
+        assert speedups["K40"] >= 1.0, system
+        assert speedups["P100"] > speedups["K40"], system
+
+    # SIMD-X benefits from the newer devices. (The paper reports it scaling
+    # *better* than the baselines; at the analogue scale SIMD-X's runtime is
+    # dominated by per-iteration costs that shrink less with the device, so
+    # the check here is directional - see EXPERIMENTS.md.)
+    assert rows["simdx"]["speedup_vs_first"]["P100"] > 1.1
+
+    # The mechanism: the fused kernel's configurable thread count grows with
+    # the device (paper: 1.2x and 5.1x over K20 for K40 and P100).
+    threads = result["simdx_configurable_threads"]
+    assert threads["K20"] < threads["K40"] < threads["P100"]
+    assert threads["P100"] / threads["K20"] > 3.0

@@ -1,0 +1,48 @@
+"""Graph algorithms expressed in the ACC model (Section 6).
+
+Each algorithm is a thin :class:`~repro.core.acc.ACCAlgorithm` subclass - a
+few dozen lines, mirroring the paper's claim that a user programs an
+algorithm in tens of lines of code while the engine handles scheduling,
+filtering, direction and fusion.
+
+=================  =========  ============  =========================
+Algorithm          Combine    Kind          Notes
+=================  =========  ============  =========================
+BFS                min        voting        level-synchronous traversal
+SSSP               min        aggregation   delta-style relaxation
+PageRank           sum        aggregation   delta-accumulative (Maiter)
+k-Core             sum        aggregation   iterative peeling, k = 16
+Belief propagation sum        aggregation   damped message passing
+SpMV               sum        aggregation   one-shot y = A x
+WCC                min        voting        label propagation
+=================  =========  ============  =========================
+"""
+
+from repro.algorithms.bfs import BFS
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.pagerank import PageRank
+from repro.algorithms.kcore import KCore
+from repro.algorithms.belief_propagation import BeliefPropagation
+from repro.algorithms.spmv import SpMV
+from repro.algorithms.wcc import WCC
+
+ALGORITHMS = {
+    "bfs": BFS,
+    "sssp": SSSP,
+    "pagerank": PageRank,
+    "kcore": KCore,
+    "bp": BeliefPropagation,
+    "spmv": SpMV,
+    "wcc": WCC,
+}
+
+__all__ = [
+    "BFS",
+    "SSSP",
+    "PageRank",
+    "KCore",
+    "BeliefPropagation",
+    "SpMV",
+    "WCC",
+    "ALGORITHMS",
+]

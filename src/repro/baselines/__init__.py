@@ -1,0 +1,34 @@
+"""Comparator systems (Section 7.1) and correctness oracles.
+
+* :mod:`repro.baselines.reference` -- straightforward single-threaded
+  implementations of every algorithm, used as correctness oracles by the
+  test suite (never timed).
+* :mod:`repro.baselines.gunrock` -- Gunrock-like GPU system: AFC
+  (advance / filter / compute) model with a batch filter and atomic updates.
+* :mod:`repro.baselines.cusha` -- CuSha-like GPU system: edge-list (shard)
+  ICU model with no task filtering.
+* :mod:`repro.baselines.ligra` -- Ligra-like CPU system: shared-memory
+  push/pull frontier framework.
+* :mod:`repro.baselines.galois` -- Galois-like CPU system: asynchronous
+  worklist execution with work-stealing.
+
+The GPU baselines run on the same simulated device and produce the same
+functional results as SIMD-X; they differ in how much memory they allocate,
+how many atomics they issue, how they build worklists and how many kernels
+they launch - exactly the axes along which the paper compares them.
+"""
+
+from repro.baselines.gunrock import GunrockLike
+from repro.baselines.cusha import CuShaLike
+from repro.baselines.ligra import LigraLike
+from repro.baselines.galois import GaloisLike
+from repro.baselines import reference
+
+SYSTEMS = {
+    "gunrock": GunrockLike,
+    "cusha": CuShaLike,
+    "ligra": LigraLike,
+    "galois": GaloisLike,
+}
+
+__all__ = ["GunrockLike", "CuShaLike", "LigraLike", "GaloisLike", "reference", "SYSTEMS"]

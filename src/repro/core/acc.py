@@ -1,0 +1,257 @@
+"""The Active-Compute-Combine (ACC) programming model (Section 3).
+
+A graph algorithm is expressed by subclassing :class:`ACCAlgorithm` and
+providing three data-parallel functions plus an initializer:
+
+* ``init``     -- set up the metadata array and the initial frontier;
+* ``active``   -- decide whether a vertex is active, given its current and
+  previous metadata (Section 3.2: "∃v ← active(Mv, v)");
+* ``compute``  -- produce the update an edge (v, u) sends to u from the
+  metadata of v, the edge weight and the metadata of u
+  ("update_{v→u} ← compute(Mv, M(v,u), Mu)");
+* ``combine``  -- merge all updates arriving at a vertex with a commutative,
+  associative operator ("update_u ← ⊕ update_{v→u}").
+
+The engine calls the vectorized variants (`active_mask`, `compute_edges`),
+which operate on NumPy arrays covering many edges at once: that is the
+functional analogue of thousands of CUDA threads each evaluating the scalar
+function on one edge. Scalar versions are derived automatically and are used
+by the tests to check the vectorized forms agree with the paper's
+one-edge-at-a-time semantics.
+
+Two combine classes exist (Section 3.2):
+
+* **aggregation** -- every update matters (SSSP's min, PageRank's sum,
+  k-Core's decrement count); overwrites are not tolerated.
+* **voting** -- all updates are identical, so receiving any one of them is
+  enough (BFS, WCC); this enables collaborative early termination.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+class CombineKind(enum.Enum):
+    """The two classes of combine operators SIMD-X optimizes (Section 3.2)."""
+
+    AGGREGATION = "aggregation"
+    VOTING = "voting"
+
+
+class CombineOp(enum.Enum):
+    """Supported commutative/associative reduction operators."""
+
+    MIN = "min"
+    MAX = "max"
+    SUM = "sum"
+
+    @property
+    def ufunc(self) -> np.ufunc:
+        return {
+            CombineOp.MIN: np.minimum,
+            CombineOp.MAX: np.maximum,
+            CombineOp.SUM: np.add,
+        }[self]
+
+    @property
+    def identity(self) -> float:
+        return {
+            CombineOp.MIN: np.inf,
+            CombineOp.MAX: -np.inf,
+            CombineOp.SUM: 0.0,
+        }[self]
+
+    def reduce(self, values: np.ndarray) -> float:
+        """Reduce an array to a scalar with this operator."""
+        if values.size == 0:
+            return self.identity
+        return float(self.ufunc.reduce(values))
+
+    def segment_reduce(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Reduce ``values`` grouped by ``segment_ids`` (destination vertex).
+
+        This is the functional equivalent of the per-destination Combine: it
+        produces, for every destination, the operator applied over all
+        updates that target it, without any atomic read-modify-write.
+
+        Implementation note: ``ufunc.at`` would be the one-liner but is far
+        too slow for hot loops, so SUM uses ``bincount`` and MIN/MAX use a
+        sort + ``reduceat`` (both vectorized).
+        """
+        out = np.full(num_segments, self.identity, dtype=np.float64)
+        if not values.size:
+            return out
+        values = values.astype(np.float64, copy=False)
+        segment_ids = np.asarray(segment_ids)
+        if self is CombineOp.SUM:
+            counted = np.bincount(segment_ids, weights=values, minlength=num_segments)
+            out[: counted.shape[0]] = counted
+            return out
+        order = np.argsort(segment_ids, kind="stable")
+        sorted_ids = segment_ids[order]
+        sorted_values = values[order]
+        boundaries = np.ones(sorted_ids.shape[0], dtype=bool)
+        boundaries[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        starts = np.nonzero(boundaries)[0]
+        reduced = self.ufunc.reduceat(sorted_values, starts)
+        out[sorted_ids[starts]] = reduced
+        return out
+
+
+@dataclass
+class InitialState:
+    """What ``init`` returns: the metadata array and the source frontier."""
+
+    metadata: np.ndarray
+    frontier: np.ndarray
+
+
+class ACCAlgorithm(abc.ABC):
+    """Base class a graph algorithm implements to run on SIMD-X.
+
+    Subclasses set the class attributes and implement the four abstract
+    methods. Everything else (worklists, filters, direction, fusion,
+    synchronization) is the engine's responsibility - the decoupling of
+    programming from processing that the paper advocates.
+    """
+
+    #: Human-readable algorithm name ("bfs", "sssp", ...).
+    name: str = "acc"
+
+    #: Whether the combine is an aggregation or a vote (Section 3.2).
+    combine_kind: CombineKind = CombineKind.AGGREGATION
+
+    #: The reduction operator used by Combine.
+    combine_op: CombineOp = CombineOp.MIN
+
+    #: Hard iteration cap (safety net; algorithms normally converge earlier).
+    max_iterations: int = 100_000
+
+    #: True when edge weights participate in ``compute`` (SSSP, BP, SpMV).
+    uses_weights: bool = True
+
+    #: Algorithms that start in pull mode (PageRank, BP, k-Core) override
+    #: this; BFS/SSSP start in push mode from a single source.
+    starts_in_pull: bool = False
+
+    #: Value meaning "no update produced" for this algorithm; compute may
+    #: return it to signal that an edge contributes nothing.
+    no_update: float = np.inf
+
+    # ------------------------------------------------------------------
+    # The ACC API (vectorized forms used by the engine)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def init(self, graph: CSRGraph, **params) -> InitialState:
+        """Create the metadata array and the initial active frontier."""
+
+    @abc.abstractmethod
+    def active_mask(self, curr: np.ndarray, prev: np.ndarray) -> np.ndarray:
+        """Boolean mask of active vertices given current/previous metadata."""
+
+    @abc.abstractmethod
+    def compute_edges(
+        self,
+        src_meta: np.ndarray,
+        weights: np.ndarray,
+        dst_meta: np.ndarray,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        graph: CSRGraph,
+    ) -> np.ndarray:
+        """Per-edge updates (vectorized ``compute``).
+
+        The extra ``src_ids`` / ``dst_ids`` / ``graph`` arguments let
+        degree-normalized algorithms (PageRank, BP) look up degrees without
+        storing them in the metadata; scalar ``compute`` in the paper closes
+        over the same information through the edge object.
+        """
+
+    @abc.abstractmethod
+    def apply(
+        self, old: np.ndarray, combined: np.ndarray, touched: np.ndarray
+    ) -> np.ndarray:
+        """Merge combined updates into the metadata of ``touched`` vertices.
+
+        Returns the new metadata values for exactly the ``touched`` vertices
+        (e.g. ``min(old, combined)`` for SSSP, the damped rank formula for
+        PageRank). The engine writes them back and derives the next frontier
+        from what changed.
+        """
+
+    # ------------------------------------------------------------------
+    # Optional hooks
+    # ------------------------------------------------------------------
+    def converged(self, curr: np.ndarray, prev: np.ndarray, iteration: int) -> bool:
+        """Extra convergence condition checked after the frontier empties."""
+        return True
+
+    def on_frontier_expanded(self, frontier: np.ndarray, metadata: np.ndarray) -> None:
+        """Called once per iteration after ``compute`` ran over the frontier.
+
+        Delta-accumulative algorithms (PageRank, BP) use this to mark the
+        frontier's pending contributions as pushed; the default is a no-op.
+        On the GPU this bookkeeping happens inside the compute kernel itself.
+        """
+
+    def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
+        """Translate metadata into the user-facing result (default identity)."""
+        return metadata
+
+    # ------------------------------------------------------------------
+    # Scalar forms (paper semantics, used for cross-validation in tests)
+    # ------------------------------------------------------------------
+    def active(self, v: int, curr: np.ndarray, prev: np.ndarray) -> bool:
+        """Scalar ``Active``: is vertex ``v`` active?"""
+        return bool(self.active_mask(curr, prev)[v])
+
+    def compute(
+        self,
+        src: int,
+        dst: int,
+        weight: float,
+        metadata: np.ndarray,
+        graph: CSRGraph,
+    ) -> float:
+        """Scalar ``Compute`` for a single edge (derived from the vector form)."""
+        result = self.compute_edges(
+            np.asarray([metadata[src]], dtype=np.float64),
+            np.asarray([weight], dtype=np.float64),
+            np.asarray([metadata[dst]], dtype=np.float64),
+            np.asarray([src], dtype=np.int64),
+            np.asarray([dst], dtype=np.int64),
+            graph,
+        )
+        return float(result[0])
+
+    def combine(self, updates: np.ndarray) -> float:
+        """Scalar ``Combine``: reduce the updates arriving at one vertex."""
+        updates = np.asarray(updates, dtype=np.float64)
+        valid = updates[~np.isnan(updates)]
+        return self.combine_op.reduce(valid)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Summary used by the examples and by DESIGN/EXPERIMENTS docs."""
+        return {
+            "name": self.name,
+            "combine_kind": self.combine_kind.value,
+            "combine_op": self.combine_op.value,
+            "uses_weights": self.uses_weights,
+            "starts_in_pull": self.starts_in_pull,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, combine={self.combine_op.value})"

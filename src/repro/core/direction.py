@@ -1,0 +1,93 @@
+"""Push / pull direction selection.
+
+Graph algorithms on SIMD-X run each iteration either in *push* mode (expand
+the out-edges of the active frontier and scatter updates to destinations) or
+*pull* mode (every not-yet-converged destination gathers from its in-edges).
+Section 5 observes that consecutive iterations cluster into push and pull
+phases - BFS/SSSP push at the beginning and end and pull in the middle, when
+the frontier covers most of the graph; k-Core pulls first and pushes at the
+end; PageRank pulls until most ranks are stable and then pushes. Push-pull
+kernel fusion exploits exactly this clustering.
+
+The :class:`DirectionSelector` reproduces the behaviour with the classic
+direction-optimizing heuristic (Beamer et al.): switch to pull when the
+frontier's outgoing edges exceed a fraction of all edges, switch back to push
+when the frontier shrinks again. Algorithms that inherently start in pull
+mode set ``starts_in_pull`` on their ACC spec.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List
+
+
+class Direction(enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+
+
+@dataclass
+class DirectionSelector:
+    """Frontier-size-based push/pull switching.
+
+    Parameters
+    ----------
+    total_edges:
+        Edge count of the graph (denominator of the frontier-share test).
+    to_pull_threshold:
+        Switch push -> pull when the frontier's out-edges exceed this
+        fraction of all edges.
+    to_push_threshold:
+        Switch pull -> push when the share drops below this fraction.
+    start_direction:
+        Direction of the first iteration.
+    """
+
+    total_edges: int
+    to_pull_threshold: float = 0.05
+    to_push_threshold: float = 0.01
+    start_direction: Direction = Direction.PUSH
+    _current: Direction = field(init=False)
+    history: List[Direction] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.to_push_threshold <= self.to_pull_threshold <= 1.0):
+            raise ValueError(
+                "thresholds must satisfy 0 < to_push <= to_pull <= 1"
+            )
+        self._current = self.start_direction
+
+    @property
+    def current(self) -> Direction:
+        return self._current
+
+    def decide(self, frontier_edges: int) -> Direction:
+        """Direction for the iteration about to run, given the frontier size."""
+        if self.total_edges > 0:
+            share = frontier_edges / self.total_edges
+            if self._current is Direction.PUSH and share >= self.to_pull_threshold:
+                self._current = Direction.PULL
+            elif self._current is Direction.PULL and share < self.to_push_threshold:
+                self._current = Direction.PUSH
+        self.history.append(self._current)
+        return self._current
+
+    def switches(self) -> int:
+        """Number of direction changes over the recorded history."""
+        return sum(
+            1 for a, b in zip(self.history, self.history[1:]) if a is not b
+        )
+
+    def phase_lengths(self) -> List[int]:
+        """Lengths of the consecutive same-direction runs (push/pull phases)."""
+        if not self.history:
+            return []
+        lengths = [1]
+        for a, b in zip(self.history, self.history[1:]):
+            if a is b:
+                lengths[-1] += 1
+            else:
+                lengths.append(1)
+        return lengths

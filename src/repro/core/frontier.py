@@ -1,0 +1,213 @@
+"""Worklists, degree classification and per-thread bins (Section 4, step I/II).
+
+SIMD-X splits the active vertices of an iteration into three worklists by
+out-degree so that each is processed at a matching thread granularity:
+
+* ``small_list``  -- low-degree vertices, one *thread* each;
+* ``med_list``    -- medium-degree vertices, one *warp* (32 threads) each;
+* ``large_list``  -- high-degree vertices, one *CTA* (256 threads) each.
+
+The separators default to the warp size (32) and the CTA compute size (256);
+the paper reports performance is flat for the small/medium separator in
+[4, 128] and for the medium/large separator in [128, 2048], which the
+worklist-separator bench reproduces.
+
+The bounded per-thread bins used by the online filter also live here: each
+simulated thread owns a bin of ``capacity`` slots (the overflow threshold,
+64 by default per Figure 9a) and records the destinations it updated; when
+any bin would exceed its capacity the iteration reports overflow, which is
+the JIT controller's signal to switch to the ballot filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: Default worklist separators (paper Section 4, "Classification of small,
+#: medium and large worklists").
+DEFAULT_SMALL_MEDIUM_SEPARATOR = 32
+DEFAULT_MEDIUM_LARGE_SEPARATOR = 256
+
+#: Threads used per task at each granularity (Figure 7).
+THREADS_PER_SMALL_TASK = 1
+THREADS_PER_MEDIUM_TASK = 32
+THREADS_PER_LARGE_TASK = 256
+
+
+@dataclass(frozen=True)
+class WorklistSizes:
+    """Vertex and edge totals per worklist, used for cost estimation."""
+
+    small_vertices: int
+    medium_vertices: int
+    large_vertices: int
+    small_edges: int
+    medium_edges: int
+    large_edges: int
+
+    @property
+    def total_vertices(self) -> int:
+        return self.small_vertices + self.medium_vertices + self.large_vertices
+
+    @property
+    def total_edges(self) -> int:
+        return self.small_edges + self.medium_edges + self.large_edges
+
+
+@dataclass(frozen=True)
+class ClassifiedFrontier:
+    """The three degree-classified worklists for one iteration."""
+
+    small: np.ndarray
+    medium: np.ndarray
+    large: np.ndarray
+    sizes: WorklistSizes
+
+    @property
+    def total_vertices(self) -> int:
+        return self.sizes.total_vertices
+
+    @property
+    def total_edges(self) -> int:
+        return self.sizes.total_edges
+
+    def all_vertices(self) -> np.ndarray:
+        """Concatenated worklists (order: small, medium, large)."""
+        return np.concatenate([self.small, self.medium, self.large])
+
+
+class WorklistClassifier:
+    """Splits a frontier into small/medium/large worklists by out-degree."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        small_medium_separator: int = DEFAULT_SMALL_MEDIUM_SEPARATOR,
+        medium_large_separator: int = DEFAULT_MEDIUM_LARGE_SEPARATOR,
+        use_out_degrees: bool = True,
+    ):
+        if small_medium_separator <= 0:
+            raise ValueError("small/medium separator must be positive")
+        if medium_large_separator < small_medium_separator:
+            raise ValueError("medium/large separator must be >= small/medium separator")
+        self.graph = graph
+        self.small_medium_separator = small_medium_separator
+        self.medium_large_separator = medium_large_separator
+        degrees = graph.out_degrees() if use_out_degrees else graph.in_degrees()
+        self._degrees = degrees
+
+    def classify(self, frontier: np.ndarray) -> ClassifiedFrontier:
+        """Split ``frontier`` (vertex ids) into the three worklists."""
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return ClassifiedFrontier(
+                empty, empty, empty, WorklistSizes(0, 0, 0, 0, 0, 0)
+            )
+        degs = self._degrees[frontier]
+        small_mask = degs < self.small_medium_separator
+        large_mask = degs >= self.medium_large_separator
+        medium_mask = ~small_mask & ~large_mask
+        small = frontier[small_mask]
+        medium = frontier[medium_mask]
+        large = frontier[large_mask]
+        sizes = WorklistSizes(
+            small_vertices=int(small.size),
+            medium_vertices=int(medium.size),
+            large_vertices=int(large.size),
+            small_edges=int(degs[small_mask].sum()),
+            medium_edges=int(degs[medium_mask].sum()),
+            large_edges=int(degs[large_mask].sum()),
+        )
+        return ClassifiedFrontier(small=small, medium=medium, large=large, sizes=sizes)
+
+    def degrees_of(self, frontier: np.ndarray) -> np.ndarray:
+        """Out-degree of each frontier vertex (used for divergence modelling)."""
+        return self._degrees[np.asarray(frontier, dtype=np.int64)]
+
+
+@dataclass
+class ThreadBins:
+    """Bounded per-thread bins used by the online filter.
+
+    ``num_threads`` simulated threads each own a private bin of ``capacity``
+    slots. :meth:`scatter` assigns recorded vertices to the bin of the thread
+    that produced them (the thread processing the corresponding frontier
+    vertex). If any bin would exceed its capacity, the overflow flag is set
+    and the surplus entries are dropped - exactly the situation in which the
+    online filter's worklist would be incomplete and the JIT controller must
+    fall back to the ballot filter to generate a *correct* list.
+    """
+
+    num_threads: int
+    capacity: int
+    overflowed: bool = False
+    bins: List[np.ndarray] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not self.bins:
+            self.bins = [np.zeros(0, dtype=np.int64) for _ in range(self.num_threads)]
+
+    def scatter(self, recorded: np.ndarray, producer_thread: np.ndarray) -> None:
+        """Append recorded vertex ids to the producing threads' bins."""
+        recorded = np.asarray(recorded, dtype=np.int64)
+        producer_thread = np.asarray(producer_thread, dtype=np.int64)
+        if recorded.shape != producer_thread.shape:
+            raise ValueError("recorded and producer_thread must align")
+        if recorded.size == 0:
+            return
+        if producer_thread.size and (
+            producer_thread.min() < 0 or producer_thread.max() >= self.num_threads
+        ):
+            raise ValueError("producer thread id out of range")
+        order = np.argsort(producer_thread, kind="stable")
+        recorded = recorded[order]
+        producer_thread = producer_thread[order]
+        boundaries = np.searchsorted(
+            producer_thread, np.arange(self.num_threads + 1)
+        )
+        for t in range(self.num_threads):
+            chunk = recorded[boundaries[t]:boundaries[t + 1]]
+            if chunk.size == 0:
+                continue
+            existing = self.bins[t]
+            space = self.capacity - existing.size
+            if chunk.size > space:
+                self.overflowed = True
+                chunk = chunk[:max(space, 0)]
+            if chunk.size:
+                self.bins[t] = np.concatenate([existing, chunk])
+
+    def occupancy(self) -> np.ndarray:
+        """Entries per bin."""
+        return np.array([b.size for b in self.bins], dtype=np.int64)
+
+    def concatenated(self) -> np.ndarray:
+        """All bin contents in thread order (the online filter's worklist)."""
+        non_empty = [b for b in self.bins if b.size]
+        if not non_empty:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(non_empty)
+
+    def reset(self) -> None:
+        self.overflowed = False
+        self.bins = [np.zeros(0, dtype=np.int64) for _ in range(self.num_threads)]
+
+
+def threads_for_frontier(classified: ClassifiedFrontier) -> int:
+    """Simulated threads participating in one iteration's compute kernels."""
+    return (
+        classified.sizes.small_vertices * THREADS_PER_SMALL_TASK
+        + classified.sizes.medium_vertices * THREADS_PER_MEDIUM_TASK
+        + classified.sizes.large_vertices * THREADS_PER_LARGE_TASK
+    )

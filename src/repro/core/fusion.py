@@ -1,0 +1,213 @@
+"""Push-pull based kernel fusion and the register model (Section 5, Table 2).
+
+Three strategies are modelled:
+
+* ``NONE`` (no fusion)  -- each iteration launches separate kernels for the
+  Thread / Warp / CTA compute stages and for task management, in both
+  directions; every launch pays the device's launch overhead. Register use
+  per kernel is small (22-30 registers, Table 2).
+* ``ALL`` (aggressive fusion) -- the whole algorithm is one persistent
+  kernel: a single launch, but the fused kernel needs ~110 registers per
+  thread, which roughly halves occupancy and therefore throughput.
+* ``PUSH_PULL`` (selective fusion, SIMD-X's contribution) -- kernels are
+  fused within each push phase and within each pull phase; the fused push
+  and pull kernels need ~48 / ~50 registers, and a typical run relaunches
+  only when the direction switches (3 launches for BFS/SSSP: push, pull,
+  push).
+
+Within a fused phase, iterations are separated by the deadlock-free software
+global barrier instead of kernel relaunches; the barrier requires the CTA
+count to respect Eq. 1, which :class:`FusionPlan` computes from the register
+footprint via :mod:`repro.gpu.registers`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.gpu.device import GPUSpec
+from repro.gpu.kernel import Kernel, DEFAULT_THREADS_PER_CTA
+from repro.gpu.registers import compute_cta_count, configurable_thread_count
+from repro.core.direction import Direction
+
+
+class FusionStrategy(enum.Enum):
+    """Kernel fusion strategies compared in Figure 13 / Table 2."""
+
+    NONE = "none"
+    ALL = "all"
+    PUSH_PULL = "push_pull"
+
+
+#: Register consumption per kernel, from Table 2 of the paper
+#: (``-Xptxas -v`` output of the authors' CUDA build).
+REGISTERS_TABLE: Dict[str, int] = {
+    "push_thread": 26,
+    "push_warp": 27,
+    "push_cta": 28,
+    "push_task_mgt": 24,
+    "pull_thread": 24,
+    "pull_warp": 24,
+    "pull_cta": 22,
+    "pull_task_mgt": 30,
+    "fused_push": 48,
+    "fused_pull": 50,
+    "fused_all": 110,
+}
+
+
+@dataclass(frozen=True)
+class PhaseKernels:
+    """The kernels involved in one direction phase of one iteration.
+
+    ``launch_kernels`` pay launch overhead; ``continuation_kernels`` run
+    inside an already-resident fused kernel and only pay their work cost.
+    """
+
+    launch_kernels: Tuple[Kernel, ...]
+    continuation_kernels: Tuple[Kernel, ...]
+    barrier_kernel: Optional[Kernel]
+
+    @property
+    def all_kernels(self) -> Tuple[Kernel, ...]:
+        return self.launch_kernels + self.continuation_kernels
+
+
+class FusionPlan:
+    """Maps (strategy, direction, iteration state) to kernel launches."""
+
+    def __init__(
+        self,
+        strategy: FusionStrategy,
+        *,
+        threads_per_cta: int = DEFAULT_THREADS_PER_CTA,
+        registers: Optional[Dict[str, int]] = None,
+    ):
+        self.strategy = strategy
+        self.threads_per_cta = threads_per_cta
+        self.registers = dict(REGISTERS_TABLE)
+        if registers:
+            self.registers.update(registers)
+        self._kernels: Dict[str, Kernel] = {}
+        self._active_fused_kernel: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def kernel(self, key: str) -> Kernel:
+        """Kernel object for a register-table key (cached)."""
+        if key not in self._kernels:
+            if key not in self.registers:
+                raise KeyError(f"unknown kernel key {key!r}")
+            self._kernels[key] = Kernel(
+                name=key,
+                registers_per_thread=self.registers[key],
+                threads_per_cta=self.threads_per_cta,
+            )
+        return self._kernels[key]
+
+    def reset(self) -> None:
+        """Forget any resident fused kernel (start of a new run)."""
+        self._active_fused_kernel = None
+
+    # ------------------------------------------------------------------
+    def phase_kernels(self, direction: Direction) -> PhaseKernels:
+        """Kernels for one iteration in ``direction`` under this strategy.
+
+        The same stages always run (Thread/Warp/CTA compute plus task
+        management); the strategy only changes which of them are separate
+        launches versus phases of a resident fused kernel.
+        """
+        prefix = "push" if direction is Direction.PUSH else "pull"
+        stage_keys = [f"{prefix}_thread", f"{prefix}_warp", f"{prefix}_cta",
+                      f"{prefix}_task_mgt"]
+
+        if self.strategy == FusionStrategy.NONE:
+            return PhaseKernels(
+                launch_kernels=tuple(self.kernel(k) for k in stage_keys),
+                continuation_kernels=(),
+                barrier_kernel=None,
+            )
+
+        if self.strategy == FusionStrategy.ALL:
+            fused = self.kernel("fused_all")
+            if self._active_fused_kernel == "fused_all":
+                return PhaseKernels(
+                    launch_kernels=(),
+                    continuation_kernels=(fused,) * len(stage_keys),
+                    barrier_kernel=fused,
+                )
+            self._active_fused_kernel = "fused_all"
+            return PhaseKernels(
+                launch_kernels=(fused,),
+                continuation_kernels=(fused,) * (len(stage_keys) - 1),
+                barrier_kernel=fused,
+            )
+
+        # PUSH_PULL: one fused kernel per direction; relaunch on switch.
+        fused_key = f"fused_{prefix}"
+        fused = self.kernel(fused_key)
+        if self._active_fused_kernel == fused_key:
+            return PhaseKernels(
+                launch_kernels=(),
+                continuation_kernels=(fused,) * len(stage_keys),
+                barrier_kernel=fused,
+            )
+        self._active_fused_kernel = fused_key
+        return PhaseKernels(
+            launch_kernels=(fused,),
+            continuation_kernels=(fused,) * (len(stage_keys) - 1),
+            barrier_kernel=fused,
+        )
+
+    # ------------------------------------------------------------------
+    # Static properties used by the Table 2 bench and Section 7.3
+    # ------------------------------------------------------------------
+    def max_registers_per_thread(self) -> int:
+        """Register footprint of the widest kernel this strategy runs."""
+        if self.strategy == FusionStrategy.ALL:
+            return self.registers["fused_all"]
+        if self.strategy == FusionStrategy.PUSH_PULL:
+            return max(self.registers["fused_push"], self.registers["fused_pull"])
+        return max(
+            self.registers[k]
+            for k in self.registers
+            if not k.startswith("fused_")
+        )
+
+    def configurable_threads(self, spec: GPUSpec) -> int:
+        """Resident thread count the strategy can sustain on ``spec``.
+
+        This is the quantity the paper says grows by ~50% when moving from
+        all-fusion to push-pull fusion, and which scales across GPU models in
+        Section 7.3.
+        """
+        return configurable_thread_count(
+            spec,
+            registers_per_thread=self.max_registers_per_thread(),
+            threads_per_cta=self.threads_per_cta,
+        )
+
+    def persistent_cta_count(self, spec: GPUSpec) -> int:
+        """Deadlock-free CTA count (Eq. 1) for the strategy's fused kernel."""
+        return compute_cta_count(
+            spec,
+            registers_per_thread=self.max_registers_per_thread(),
+            threads_per_cta=self.threads_per_cta,
+        )
+
+    def expected_launches(self, iterations: int, direction_switches: int) -> int:
+        """Kernel launches a run of this shape needs (Table 2, last row).
+
+        * no fusion: 4 kernels per iteration (3 compute + task management);
+        * all fusion: a single launch for the whole run;
+        * push-pull fusion: one launch per direction phase, i.e. the number
+          of direction switches plus one.
+        """
+        if iterations <= 0:
+            return 0
+        if self.strategy == FusionStrategy.NONE:
+            return 4 * iterations
+        if self.strategy == FusionStrategy.ALL:
+            return 1
+        return direction_switches + 1

@@ -1,0 +1,127 @@
+"""Per-run metrics, iteration traces and result containers.
+
+Every system in the repository (SIMD-X and the baselines) returns a
+:class:`RunResult`, so the benchmark harness can compare them uniformly.
+The iteration trace carries everything the paper's figures need: which filter
+ran, which direction, how large the frontier was, and the simulated time of
+each component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class IterationRecord:
+    """One BSP iteration of a run."""
+
+    iteration: int
+    direction: str
+    frontier_vertices: int
+    frontier_edges: int
+    filter_used: str
+    filter_overflowed: bool
+    compute_us: float
+    filter_us: float
+    barrier_us: float
+    launch_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.filter_us + self.barrier_us + self.launch_us
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one algorithm on one system.
+
+    ``values`` is the user-facing result (distances, ranks, core flags...);
+    ``elapsed_us`` the simulated GPU time (or modelled CPU time for the CPU
+    baselines); ``failed``/``failure_reason`` record OOM or non-convergence
+    the way Table 4's blank cells do.
+    """
+
+    system: str
+    algorithm: str
+    graph: str
+    values: Optional[np.ndarray]
+    elapsed_us: float
+    iterations: int
+    device: str = ""
+    failed: bool = False
+    failure_reason: str = ""
+    kernel_launches: int = 0
+    filter_trace: List[str] = field(default_factory=list)
+    direction_trace: List[str] = field(default_factory=list)
+    iteration_records: List[IterationRecord] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_us / 1000.0
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """How many times faster this run is than ``other``."""
+        if self.failed or other.failed:
+            return float("nan")
+        if self.elapsed_us == 0:
+            return float("inf")
+        return other.elapsed_us / self.elapsed_us
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "system": self.system,
+            "algorithm": self.algorithm,
+            "graph": self.graph,
+            "device": self.device,
+            "elapsed_ms": round(self.elapsed_ms, 4),
+            "iterations": self.iterations,
+            "kernel_launches": self.kernel_launches,
+            "failed": self.failed,
+            "failure_reason": self.failure_reason,
+        }
+
+    @classmethod
+    def failure(
+        cls,
+        system: str,
+        algorithm: str,
+        graph: str,
+        reason: str,
+        *,
+        device: str = "",
+    ) -> "RunResult":
+        """Construct the record for a failed run (OOM, non-convergence)."""
+        return cls(
+            system=system,
+            algorithm=algorithm,
+            graph=graph,
+            values=None,
+            elapsed_us=float("inf"),
+            iterations=0,
+            device=device,
+            failed=True,
+            failure_reason=reason,
+        )
+
+
+def aggregate_time_us(records: List[IterationRecord]) -> Dict[str, float]:
+    """Total simulated time split by component across iterations."""
+    return {
+        "compute_us": sum(r.compute_us for r in records),
+        "filter_us": sum(r.filter_us for r in records),
+        "barrier_us": sum(r.barrier_us for r in records),
+        "launch_us": sum(r.launch_us for r in records),
+    }
+
+
+def geometric_mean_speedup(speedups: List[float]) -> float:
+    """Geometric mean ignoring NaNs/inf (failed comparisons)."""
+    clean = [s for s in speedups if np.isfinite(s) and s > 0]
+    if not clean:
+        return float("nan")
+    return float(np.exp(np.mean(np.log(clean))))

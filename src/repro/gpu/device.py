@@ -1,0 +1,298 @@
+"""GPU device model: hardware parameters, memory capacity and launch costs.
+
+The three devices the paper evaluates (K20, K40, P100) are described by a
+:class:`GPUSpec`. Parameters are taken from NVIDIA's published specifications
+where the paper cites them (e.g. 65,536 registers per SMX on K40, 32,768 on
+K20 as stated in Section 5) and from the architecture whitepapers otherwise.
+Absolute bandwidth numbers matter only in that their *ratios* across devices
+determine the Section 7.3 scaling experiment.
+
+Device memory capacities are scaled down by ``memory_scale`` in
+:class:`GPUDevice` so the laptop-sized dataset analogues reproduce the OOM
+behaviour the paper observes with the full-size graphs on 5-16 GB boards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.gpu.kernel import Kernel, KernelLaunch, LaunchResult, WorkEstimate
+from repro.gpu.registers import compute_cta_count, compute_occupancy
+from repro.gpu.profiler import DeviceProfiler
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Raised when a device allocation exceeds the remaining global memory."""
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static hardware description of one GPU model."""
+
+    name: str
+    num_smx: int
+    cuda_cores_per_smx: int
+    registers_per_smx: int
+    max_threads_per_smx: int
+    max_ctas_per_smx: int
+    warp_size: int
+    shared_mem_per_smx: int          # bytes
+    global_memory_bytes: int
+    memory_bandwidth_gbps: float     # GB/s
+    core_clock_ghz: float
+    kernel_launch_overhead_us: float
+    atomic_cost_ops: float           # simple-op equivalents per atomic update
+    global_latency_us: float         # latency component per kernel phase
+
+    @property
+    def total_cuda_cores(self) -> int:
+        return self.num_smx * self.cuda_cores_per_smx
+
+    @property
+    def peak_gips(self) -> float:
+        """Peak simple-integer-op throughput in giga-ops per second."""
+        return self.total_cuda_cores * self.core_clock_ghz
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.num_smx * self.max_threads_per_smx
+
+
+# Published / whitepaper-derived parameters. Launch overhead and atomic
+# latency are calibration constants chosen so the relative results in the
+# paper's figures (fusion benefit, atomic-free benefit) fall in the reported
+# ranges; see EXPERIMENTS.md.
+K20 = GPUSpec(
+    name="K20",
+    num_smx=13,
+    cuda_cores_per_smx=192,
+    registers_per_smx=32_768,
+    max_threads_per_smx=2048,
+    max_ctas_per_smx=16,
+    warp_size=32,
+    shared_mem_per_smx=48 * 1024,
+    global_memory_bytes=5 * 1024**3,
+    memory_bandwidth_gbps=208.0,
+    core_clock_ghz=0.706,
+    kernel_launch_overhead_us=9.0,
+    atomic_cost_ops=72.0,
+    global_latency_us=0.8,
+)
+
+K40 = GPUSpec(
+    name="K40",
+    num_smx=15,
+    cuda_cores_per_smx=192,
+    registers_per_smx=65_536,
+    max_threads_per_smx=2048,
+    max_ctas_per_smx=16,
+    warp_size=32,
+    shared_mem_per_smx=48 * 1024,
+    global_memory_bytes=12 * 1024**3,
+    memory_bandwidth_gbps=288.0,
+    core_clock_ghz=0.745,
+    kernel_launch_overhead_us=8.0,
+    atomic_cost_ops=56.0,
+    global_latency_us=0.6,
+)
+
+P100 = GPUSpec(
+    name="P100",
+    num_smx=56,
+    cuda_cores_per_smx=64,
+    registers_per_smx=65_536,
+    max_threads_per_smx=2048,
+    max_ctas_per_smx=32,
+    warp_size=32,
+    shared_mem_per_smx=64 * 1024,
+    global_memory_bytes=16 * 1024**3,
+    memory_bandwidth_gbps=732.0,
+    core_clock_ghz=1.328,
+    kernel_launch_overhead_us=6.0,
+    atomic_cost_ops=32.0,
+    global_latency_us=0.4,
+)
+
+KNOWN_DEVICES: Dict[str, GPUSpec] = {"K20": K20, "K40": K40, "P100": P100}
+
+
+def get_device_spec(name: str) -> GPUSpec:
+    """Look up a device spec by name (case-insensitive)."""
+    key = name.upper()
+    if key not in KNOWN_DEVICES:
+        raise KeyError(f"unknown device {name!r}; known: {sorted(KNOWN_DEVICES)}")
+    return KNOWN_DEVICES[key]
+
+
+@dataclass
+class Allocation:
+    """A live device-memory allocation."""
+
+    label: str
+    nbytes: int
+    freed: bool = False
+
+
+class GPUDevice:
+    """A simulated GPU: memory allocator plus kernel-launch cost model.
+
+    Parameters
+    ----------
+    spec:
+        Hardware description (defaults to the paper's primary K40 device).
+    memory_scale:
+        Multiplier applied to ``spec.global_memory_bytes``. The systems size
+        their allocations against the *modeled* (paper-scale) graph sizes
+        (see :meth:`repro.graph.csr.CSRGraph.modeled_csr_bytes`), so the
+        default is the device's real capacity; shrink it to study OOM
+        behaviour on graphs without paper-size annotations.
+    """
+
+    DEFAULT_MEMORY_SCALE = 1.0
+
+    def __init__(self, spec: GPUSpec = K40, *, memory_scale: float = DEFAULT_MEMORY_SCALE):
+        if memory_scale <= 0:
+            raise ValueError("memory_scale must be positive")
+        self.spec = spec
+        self.memory_capacity = int(spec.global_memory_bytes * memory_scale)
+        self._allocated = 0
+        self._allocations: List[Allocation] = []
+        self.profiler = DeviceProfiler(device_name=spec.name)
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated
+
+    @property
+    def free_bytes(self) -> int:
+        return self.memory_capacity - self._allocated
+
+    def malloc(self, nbytes: int, label: str = "") -> Allocation:
+        """Reserve device memory or raise :class:`DeviceOutOfMemory`."""
+        if nbytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if self._allocated + nbytes > self.memory_capacity:
+            raise DeviceOutOfMemory(
+                f"{self.spec.name}: cannot allocate {nbytes} bytes for "
+                f"{label or 'buffer'}; {self.free_bytes} of "
+                f"{self.memory_capacity} bytes free"
+            )
+        alloc = Allocation(label=label, nbytes=nbytes)
+        self._allocations.append(alloc)
+        self._allocated += nbytes
+        self.profiler.record_allocation(label, nbytes, self._allocated)
+        return alloc
+
+    def free(self, alloc: Allocation) -> None:
+        """Release a previous allocation (idempotent)."""
+        if alloc.freed:
+            return
+        alloc.freed = True
+        self._allocated -= alloc.nbytes
+
+    def reset_memory(self) -> None:
+        """Release every allocation (device reset between experiments)."""
+        for alloc in self._allocations:
+            alloc.freed = True
+        self._allocations.clear()
+        self._allocated = 0
+
+    # ------------------------------------------------------------------
+    # Kernel execution cost model
+    # ------------------------------------------------------------------
+    def launch(self, launch: KernelLaunch) -> LaunchResult:
+        """Account the cost of one kernel launch and return its timing."""
+        result = self.estimate(launch)
+        self.profiler.record_launch(launch, result)
+        return result
+
+    def estimate(self, launch: KernelLaunch) -> LaunchResult:
+        """Compute simulated time for a launch without recording it."""
+        spec = self.spec
+        kernel = launch.kernel
+        work = launch.work
+
+        occupancy = compute_occupancy(
+            spec,
+            registers_per_thread=kernel.registers_per_thread,
+            threads_per_cta=kernel.threads_per_cta,
+            num_ctas=launch.num_ctas,
+        )
+
+        # Memory time: coalesced traffic moves at peak bandwidth; scattered
+        # accesses each occupy a 32-byte transaction of which only
+        # `useful_bytes` are useful, so their effective bandwidth drops by
+        # the ratio. Low occupancy cannot cover memory latency, modelled as a
+        # linear derating below 50% occupancy (the classic rule of thumb).
+        coalesced_bytes = work.coalesced_bytes
+        scattered_bytes = work.scattered_transactions * 32
+        total_bytes = coalesced_bytes + scattered_bytes
+        latency_cover = min(1.0, occupancy.occupancy / 0.5) if total_bytes else 1.0
+        effective_bw = spec.memory_bandwidth_gbps * max(latency_cover, 0.05)
+        memory_us = (total_bytes / (effective_bw * 1e3)) if total_bytes else 0.0
+
+        # Compute time: simple ops at peak integer throughput, derated by
+        # occupancy (fewer resident warps -> fewer issue slots covered) and
+        # by warp divergence (divergent branches serialize lanes).
+        compute_throughput = spec.peak_gips * 1e3 * max(occupancy.occupancy, 0.05)
+        divergence_penalty = 1.0 + work.divergence_fraction
+        compute_us = (
+            work.compute_ops * divergence_penalty / compute_throughput
+            if work.compute_ops
+            else 0.0
+        )
+
+        # Atomic time: an uncontended atomic costs roughly
+        # ``atomic_cost_ops`` simple-op equivalents (read-modify-write at L2);
+        # contention serializes updates to the same address, softened with a
+        # square root because the hardware aggregates same-address updates
+        # within a warp and spreads traffic across memory partitions.
+        atomic_us = 0.0
+        if work.atomic_ops:
+            contention = max(1.0, min(work.atomic_contention, 64.0))
+            cost_ops = spec.atomic_cost_ops * (contention ** 0.5)
+            atomic_us = work.atomic_ops * cost_ops / compute_throughput
+
+        # Warp-vote / scan primitives are cheap but not free.
+        primitive_us = work.warp_primitive_ops * 0.5 / (spec.peak_gips * 1e3)
+
+        # Fixed latency per kernel phase (pipeline drain, barrier at end).
+        latency_us = spec.global_latency_us if work.nonzero() else 0.0
+
+        launch_us = 0.0 if launch.fused_continuation else spec.kernel_launch_overhead_us
+
+        busy_us = memory_us + compute_us + atomic_us + primitive_us + latency_us
+        total_us = launch_us + busy_us
+
+        return LaunchResult(
+            kernel_name=kernel.name,
+            total_us=total_us,
+            launch_overhead_us=launch_us,
+            memory_us=memory_us,
+            compute_us=compute_us,
+            atomic_us=atomic_us,
+            primitive_us=primitive_us,
+            latency_us=latency_us,
+            occupancy=occupancy,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers used by fusion / barrier logic
+    # ------------------------------------------------------------------
+    def cta_count_for(self, kernel: Kernel) -> int:
+        """Deadlock-free CTA count for a persistent kernel (Eq. 1)."""
+        return compute_cta_count(
+            self.spec,
+            registers_per_thread=kernel.registers_per_thread,
+            threads_per_cta=kernel.threads_per_cta,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GPUDevice({self.spec.name}, mem={self.memory_capacity} B, "
+            f"allocated={self._allocated} B)"
+        )

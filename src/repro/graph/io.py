@@ -1,0 +1,125 @@
+"""Graph persistence: save and load CSR graphs.
+
+Two formats are provided:
+
+* a compact binary ``.npz`` container (NumPy arrays for both CSR directions)
+  for fast reload of generated datasets between benchmark runs;
+* a plain-text edge list (``src dst weight`` per line, ``#`` comments)
+  compatible with SNAP-style downloads, so users can plug in real graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph, CSRView, GraphFormatError
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT_VERSION = 1
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Write a graph to a ``.npz`` file (both CSR directions and metadata)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_FORMAT_VERSION),
+        directed=np.bool_(graph.directed),
+        name=np.str_(graph.name),
+        out_offsets=graph.out_csr.offsets,
+        out_targets=graph.out_csr.targets,
+        out_weights=graph.out_csr.weights,
+        in_offsets=graph.in_csr.offsets,
+        in_targets=graph.in_csr.targets,
+        in_weights=graph.in_csr.weights,
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise GraphFormatError(
+                f"unsupported graph file version {version}; expected {_FORMAT_VERSION}"
+            )
+        directed = bool(data["directed"])
+        name = str(data["name"])
+        out_csr = CSRView(
+            offsets=data["out_offsets"],
+            targets=data["out_targets"],
+            weights=data["out_weights"],
+        )
+        if directed:
+            in_csr = CSRView(
+                offsets=data["in_offsets"],
+                targets=data["in_targets"],
+                weights=data["in_weights"],
+            )
+        else:
+            in_csr = out_csr
+    graph = CSRGraph(out_csr=out_csr, in_csr=in_csr, directed=directed, name=name)
+    graph.validate()
+    return graph
+
+
+def save_edge_list_text(graph: CSRGraph, path: PathLike) -> None:
+    """Write stored directed edges as ``src dst weight`` text lines."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    edges = graph.to_edge_array()
+    weights = graph.out_csr.weights
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(f"# repro edge list: name={graph.name} directed={graph.directed}\n")
+        f.write(f"# vertices={graph.num_vertices} edges={graph.num_edges}\n")
+        for (s, d), w in zip(edges, weights):
+            f.write(f"{int(s)} {int(d)} {float(w):g}\n")
+
+
+def load_edge_list_text(
+    path: PathLike,
+    *,
+    directed: bool = False,
+    num_vertices: int | None = None,
+    name: str = "",
+) -> CSRGraph:
+    """Parse a SNAP-style text edge list into a :class:`CSRGraph`.
+
+    Lines are ``src dst [weight]``; missing weights default to 1. When
+    ``num_vertices`` is omitted it is inferred as ``max id + 1``.
+    """
+    sources, targets, weights = [], [], []
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(f"{path}:{lineno}: expected 'src dst [weight]'")
+            try:
+                s, d = int(parts[0]), int(parts[1])
+                w = float(parts[2]) if len(parts) > 2 else 1.0
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+            sources.append(s)
+            targets.append(d)
+            weights.append(w)
+
+    if not sources:
+        return CSRGraph.empty(num_vertices or 1, directed=directed, name=name)
+
+    edges = np.stack(
+        [np.asarray(sources, dtype=np.int64), np.asarray(targets, dtype=np.int64)],
+        axis=1,
+    )
+    n = num_vertices if num_vertices is not None else int(edges.max()) + 1
+    return CSRGraph.from_edges(
+        n, edges, np.asarray(weights), directed=directed, name=name
+    )

@@ -1,0 +1,177 @@
+"""Tests for the ACC programming model abstractions and combine operators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, PageRank, KCore, WCC
+from repro.core.acc import ACCAlgorithm, CombineKind, CombineOp, InitialState
+
+
+class TestCombineOp:
+    def test_identities(self):
+        assert CombineOp.MIN.identity == np.inf
+        assert CombineOp.MAX.identity == -np.inf
+        assert CombineOp.SUM.identity == 0.0
+
+    def test_reduce_scalar(self):
+        values = np.array([3.0, 1.0, 2.0])
+        assert CombineOp.MIN.reduce(values) == 1.0
+        assert CombineOp.MAX.reduce(values) == 3.0
+        assert CombineOp.SUM.reduce(values) == 6.0
+
+    def test_reduce_empty_returns_identity(self):
+        empty = np.array([])
+        for op in CombineOp:
+            assert op.reduce(empty) == op.identity
+
+    @pytest.mark.parametrize("op", list(CombineOp))
+    def test_segment_reduce_matches_loop(self, op):
+        rng = np.random.default_rng(11)
+        values = rng.random(500) * 10
+        segments = rng.integers(0, 40, size=500)
+        result = op.segment_reduce(values, segments, 40)
+        for s in range(40):
+            mask = segments == s
+            if mask.any():
+                assert result[s] == pytest.approx(op.reduce(values[mask]))
+            else:
+                assert result[s] == op.identity
+
+    def test_segment_reduce_empty(self):
+        out = CombineOp.MIN.segment_reduce(np.array([]), np.array([], dtype=int), 5)
+        assert np.all(np.isinf(out))
+
+    def test_segment_reduce_single_segment(self):
+        out = CombineOp.SUM.segment_reduce(
+            np.array([1.0, 2.0, 3.0]), np.array([2, 2, 2]), 4
+        )
+        assert out[2] == 6.0
+        assert out[0] == 0.0
+
+    def test_ufunc_mapping(self):
+        assert CombineOp.MIN.ufunc is np.minimum
+        assert CombineOp.SUM.ufunc is np.add
+
+
+class TestAlgorithmClassification:
+    """The combine-class table from Section 3.2 / Section 6."""
+
+    def test_voting_algorithms(self):
+        assert BFS().combine_kind is CombineKind.VOTING
+        assert WCC().combine_kind is CombineKind.VOTING
+
+    def test_aggregation_algorithms(self):
+        assert SSSP().combine_kind is CombineKind.AGGREGATION
+        assert PageRank().combine_kind is CombineKind.AGGREGATION
+        assert KCore().combine_kind is CombineKind.AGGREGATION
+
+    def test_combine_operators(self):
+        assert BFS().combine_op is CombineOp.MIN
+        assert SSSP().combine_op is CombineOp.MIN
+        assert PageRank().combine_op is CombineOp.SUM
+        assert KCore().combine_op is CombineOp.SUM
+
+    def test_pull_starters(self):
+        assert PageRank().starts_in_pull
+        assert KCore().starts_in_pull
+        assert not BFS().starts_in_pull
+        assert not SSSP().starts_in_pull
+
+    def test_describe(self):
+        d = SSSP().describe()
+        assert d["name"] == "sssp"
+        assert d["combine_kind"] == "aggregation"
+        assert d["uses_weights"] is True
+
+
+class TestScalarVectorAgreement:
+    """The scalar paper semantics must agree with the vectorized forms."""
+
+    def test_sssp_compute_scalar_matches_vector(self, tiny_graph):
+        algo = SSSP(source=0)
+        state = algo.init(tiny_graph)
+        metadata = state.metadata
+        metadata[0] = 0.0
+        # Edge a->b with weight 5 offers distance 5 to b.
+        assert algo.compute(0, 1, 5.0, metadata, tiny_graph) == pytest.approx(5.0)
+        # An edge into an already-closer vertex produces no update (NaN).
+        metadata[1] = 1.0
+        assert np.isnan(algo.compute(0, 1, 5.0, metadata, tiny_graph))
+
+    def test_bfs_compute_offers_level_plus_one(self, tiny_graph):
+        algo = BFS(source=0)
+        metadata = algo.init(tiny_graph).metadata
+        assert algo.compute(0, 1, 1.0, metadata, tiny_graph) == pytest.approx(1.0)
+
+    def test_active_scalar_matches_mask(self, tiny_graph):
+        algo = SSSP(source=0)
+        metadata = algo.init(tiny_graph).metadata
+        prev = metadata.copy()
+        metadata[3] = 1.0
+        mask = algo.active_mask(metadata, prev)
+        for v in range(tiny_graph.num_vertices):
+            assert algo.active(v, metadata, prev) == bool(mask[v])
+
+    def test_combine_scalar_uses_operator(self):
+        algo = SSSP()
+        assert algo.combine(np.array([4.0, 2.0, np.nan])) == pytest.approx(2.0)
+        algo2 = PageRank()
+        assert algo2.combine(np.array([1.0, 2.0])) == pytest.approx(3.0)
+
+
+class TestInitialState:
+    def test_bfs_init(self, tiny_graph):
+        state = BFS(source=4).init(tiny_graph)
+        assert isinstance(state, InitialState)
+        assert state.metadata[4] == 0.0
+        assert np.isinf(state.metadata[0])
+        assert np.array_equal(state.frontier, [4])
+
+    def test_bfs_source_override(self, tiny_graph):
+        state = BFS(source=0).init(tiny_graph, source=2)
+        assert state.metadata[2] == 0.0
+
+    def test_bfs_invalid_source(self, tiny_graph):
+        with pytest.raises(ValueError):
+            BFS(source=99).init(tiny_graph)
+
+    def test_sssp_invalid_source(self, tiny_graph):
+        with pytest.raises(ValueError):
+            SSSP(source=-1).init(tiny_graph)
+
+    def test_kcore_initial_frontier_is_low_degree_vertices(self, tiny_graph):
+        algo = KCore(k=2)
+        state = algo.init(tiny_graph)
+        degrees = tiny_graph.out_degrees()
+        expected = np.nonzero(degrees < 2)[0]
+        assert np.array_equal(np.sort(state.frontier), np.sort(expected))
+
+    def test_kcore_invalid_k(self):
+        with pytest.raises(ValueError):
+            KCore(k=0)
+
+    def test_pagerank_all_vertices_active_initially(self, tiny_graph):
+        state = PageRank().init(tiny_graph)
+        assert state.frontier.size == tiny_graph.num_vertices
+        assert np.allclose(state.metadata, 0.15)
+
+    def test_pagerank_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PageRank(damping=1.5)
+        with pytest.raises(ValueError):
+            PageRank(tolerance=0.0)
+
+    def test_sssp_delta_validation(self):
+        with pytest.raises(ValueError):
+            SSSP(delta=0.0)
+
+    def test_default_hooks(self, tiny_graph):
+        algo = BFS(source=0)
+        state = algo.init(tiny_graph)
+        # Default hooks: converged is True, on_frontier_expanded is a no-op,
+        # vertex_value is overridden by BFS to produce int levels.
+        assert algo.converged(state.metadata, state.metadata, 1)
+        algo.on_frontier_expanded(state.frontier, state.metadata)
+        assert algo.vertex_value(state.metadata).dtype == np.int64

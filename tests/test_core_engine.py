@@ -1,0 +1,252 @@
+"""Tests for the SIMD-X execution engine: correctness invariance across
+configurations, traces, failure modes and cost-model behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, KCore, PageRank
+from repro.baselines import reference as ref
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.core.filters import FilterMode
+from repro.core.fusion import FusionStrategy
+from repro.core.metrics import aggregate_time_us
+from repro.gpu.device import GPUDevice, K40
+from repro.graph import generators as gen
+from tests.conftest import assert_distances_equal
+
+
+class TestFunctionalCorrectness:
+    def test_bfs_matches_reference(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(BFS(source=src))
+        assert np.array_equal(result.values, ref.bfs_levels(rmat_graph, src))
+
+    def test_sssp_matches_dijkstra(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(SSSP(source=src))
+        assert_distances_equal(result.values, ref.sssp_distances(rmat_graph, src))
+
+    @pytest.mark.parametrize("filter_mode", [FilterMode.JIT, FilterMode.BALLOT,
+                                             FilterMode.BATCH, FilterMode.STRIDED,
+                                             FilterMode.ATOMIC])
+    def test_results_invariant_across_filters(self, rmat_graph, filter_mode):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        config = EngineConfig(filter_mode=filter_mode)
+        result = SIMDXEngine(rmat_graph, config=config).run(BFS(source=src))
+        assert not result.failed
+        assert np.array_equal(result.values, ref.bfs_levels(rmat_graph, src))
+
+    @pytest.mark.parametrize("fusion", list(FusionStrategy))
+    def test_results_invariant_across_fusion(self, rmat_graph, fusion):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        config = EngineConfig(fusion=fusion)
+        result = SIMDXEngine(rmat_graph, config=config).run(SSSP(source=src))
+        assert_distances_equal(result.values, ref.sssp_distances(rmat_graph, src))
+
+    def test_results_invariant_across_devices(self, rmat_graph):
+        from repro.gpu.device import K20, P100
+
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        values = []
+        for spec in (K20, K40, P100):
+            result = SIMDXEngine(rmat_graph, device=GPUDevice(spec)).run(BFS(source=src))
+            values.append(result.values)
+        assert np.array_equal(values[0], values[1])
+        assert np.array_equal(values[1], values[2])
+
+    def test_atomic_combine_pricing_does_not_change_results(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        a = SIMDXEngine(rmat_graph, config=EngineConfig(atomic_combine=True)).run(BFS(src))
+        b = SIMDXEngine(rmat_graph, config=EngineConfig(atomic_combine=False)).run(BFS(src))
+        assert np.array_equal(a.values, b.values)
+        assert a.elapsed_us > b.elapsed_us
+
+    def test_unreachable_vertices_stay_unreached(self):
+        g = gen.two_level_graph(2, 10, 0, seed=3)  # two disconnected clusters
+        result = SIMDXEngine(g).run(BFS(source=0))
+        assert np.all(result.values[10:] == -1)
+        assert np.all(result.values[:10] >= 0)
+
+    def test_isolated_source_terminates_immediately(self):
+        from repro.graph.csr import CSRGraph
+
+        g = CSRGraph.from_edges(4, [(1, 2)], weights=[1])
+        result = SIMDXEngine(g).run(BFS(source=0))
+        assert result.iterations <= 1
+        assert result.values[0] == 0
+        assert np.all(result.values[1:] == -1)
+
+
+class TestRunResultContents:
+    def test_run_result_fields(self, rmat_graph):
+        result = SIMDXEngine(rmat_graph).run(BFS(source=0))
+        assert result.system == "SIMD-X"
+        assert result.algorithm == "bfs"
+        assert result.device == "K40"
+        assert result.iterations == len(result.iteration_records)
+        assert len(result.filter_trace) == result.iterations
+        assert len(result.direction_trace) == result.iterations
+        assert result.elapsed_us > 0
+        assert result.kernel_launches > 0
+
+    def test_iteration_records_consistent(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(SSSP(source=src))
+        totals = aggregate_time_us(result.iteration_records)
+        component_sum = sum(totals.values())
+        assert component_sum == pytest.approx(result.elapsed_us, rel=1e-6)
+        for record in result.iteration_records:
+            assert record.frontier_vertices > 0
+            assert record.total_us > 0
+
+    def test_first_iteration_frontier_is_source(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(BFS(source=src))
+        assert result.iteration_records[0].frontier_vertices == 1
+
+    def test_extra_metadata(self, rmat_graph):
+        result = SIMDXEngine(rmat_graph).run(BFS(source=0))
+        assert result.extra["fusion"] == "push_pull"
+        assert result.extra["filter_mode"] == "jit"
+        assert "direction_switches" in result.extra
+
+
+class TestFilterBehaviourInEngine:
+    def test_jit_uses_online_then_ballot_on_skewed_graph(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(BFS(source=src))
+        assert "ballot" in result.filter_trace
+        # The last iterations (tiny frontier) fall back to the online filter.
+        assert result.filter_trace[-1] == "online"
+
+    def test_jit_stays_online_on_high_diameter_graph(self, road_graph):
+        result = SIMDXEngine(road_graph).run(BFS(source=0))
+        assert set(result.filter_trace) == {"online"}
+
+    def test_online_only_fails_on_skewed_graph(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        config = EngineConfig(filter_mode=FilterMode.ONLINE, overflow_threshold=16)
+        result = SIMDXEngine(rmat_graph, config=config).run(BFS(source=src))
+        assert result.failed
+        assert "overflow" in result.failure_reason
+
+    def test_online_only_succeeds_on_road_graph(self, road_graph):
+        config = EngineConfig(filter_mode=FilterMode.ONLINE)
+        result = SIMDXEngine(road_graph, config=config).run(BFS(source=0))
+        assert not result.failed
+
+    def test_ballot_only_slower_than_jit_on_road_graph(self, road_graph):
+        jit = SIMDXEngine(road_graph, config=EngineConfig(filter_mode=FilterMode.JIT))
+        ballot = SIMDXEngine(road_graph, config=EngineConfig(filter_mode=FilterMode.BALLOT))
+        t_jit = jit.run(BFS(source=0)).elapsed_us
+        t_ballot = ballot.run(BFS(source=0)).elapsed_us
+        assert t_ballot > t_jit
+
+    def test_kcore_ballots_only_in_early_iterations(self, rmat_graph):
+        result = SIMDXEngine(rmat_graph).run(KCore(k=8))
+        if "ballot" in result.filter_trace:
+            last_ballot = max(i for i, f in enumerate(result.filter_trace) if f == "ballot")
+            assert last_ballot <= len(result.filter_trace) // 2
+
+
+class TestFusionBehaviourInEngine:
+    def test_launch_counts_ordering(self, road_graph):
+        """More fusion -> fewer launches; no fusion -> 4 per iteration."""
+        counts = {}
+        for strategy in FusionStrategy:
+            config = EngineConfig(fusion=strategy)
+            result = SIMDXEngine(road_graph, config=config).run(BFS(source=0))
+            counts[strategy] = (result.kernel_launches, result.iterations)
+        none_launches, iters = counts[FusionStrategy.NONE]
+        assert none_launches == 4 * iters
+        assert counts[FusionStrategy.ALL][0] == 1
+        assert 1 <= counts[FusionStrategy.PUSH_PULL][0] <= 1 + 2 * 4
+
+    def test_push_pull_fusion_fastest_on_high_iteration_graph(self, road_graph):
+        times = {}
+        for strategy in FusionStrategy:
+            config = EngineConfig(fusion=strategy)
+            times[strategy] = SIMDXEngine(road_graph, config=config).run(
+                BFS(source=0)
+            ).elapsed_us
+        assert times[FusionStrategy.PUSH_PULL] < times[FusionStrategy.NONE]
+
+    def test_direction_trace_clusters(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        result = SIMDXEngine(rmat_graph).run(BFS(source=src))
+        assert result.direction_trace[0] == "push"
+        # Directions form contiguous phases (no rapid flapping beyond the
+        # number of threshold crossings).
+        switches = sum(
+            1 for a, b in zip(result.direction_trace, result.direction_trace[1:])
+            if a != b
+        )
+        assert switches <= 3
+
+
+class TestMemoryFailureModes:
+    def test_oom_on_graph_larger_than_device(self, rmat_graph):
+        rmat_graph.meta["paper_vertices"] = 10**9
+        rmat_graph.meta["paper_edges"] = 10**11
+        try:
+            result = SIMDXEngine(rmat_graph).run(BFS(source=0))
+            assert result.failed
+            assert "OOM" in result.failure_reason
+        finally:
+            rmat_graph.meta.pop("paper_vertices")
+            rmat_graph.meta.pop("paper_edges")
+
+    def test_memory_released_after_run(self, rmat_graph):
+        engine = SIMDXEngine(rmat_graph)
+        engine.run(BFS(source=0))
+        assert engine.device.allocated_bytes == 0
+
+    def test_batch_filter_oom_on_modeled_large_graph(self, rmat_graph):
+        rmat_graph.meta["paper_edges"] = 2 * 10**9
+        rmat_graph.meta["paper_vertices"] = 10**7
+        try:
+            config = EngineConfig(filter_mode=FilterMode.BATCH)
+            result = SIMDXEngine(rmat_graph, config=config).run(
+                BFS(source=int(np.argmax(rmat_graph.out_degrees())))
+            )
+            assert result.failed and "OOM" in result.failure_reason
+        finally:
+            rmat_graph.meta.pop("paper_edges")
+            rmat_graph.meta.pop("paper_vertices")
+
+
+class TestConfigKnobs:
+    def test_max_iterations_caps_run(self, road_graph):
+        config = EngineConfig(max_iterations=3)
+        result = SIMDXEngine(road_graph, config=config).run(BFS(source=0))
+        assert result.iterations == 3
+
+    def test_overflow_threshold_changes_filter_choice(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        low = SIMDXEngine(rmat_graph, config=EngineConfig(overflow_threshold=1)).run(
+            BFS(source=src)
+        )
+        high = SIMDXEngine(
+            rmat_graph, config=EngineConfig(overflow_threshold=10_000)
+        ).run(BFS(source=src))
+        assert low.filter_trace.count("ballot") >= high.filter_trace.count("ballot")
+
+    def test_pagerank_converges_and_matches_power_iteration(self, rmat_graph):
+        result = SIMDXEngine(rmat_graph).run(PageRank(tolerance=1e-7))
+        expected = ref.pagerank_scores(rmat_graph)
+        assert not result.failed
+        assert np.abs(result.values - expected).max() < 1e-4
+
+    def test_separators_do_not_change_results(self, rmat_graph):
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        a = SIMDXEngine(
+            rmat_graph,
+            config=EngineConfig(small_medium_separator=4, medium_large_separator=128),
+        ).run(BFS(source=src))
+        b = SIMDXEngine(
+            rmat_graph,
+            config=EngineConfig(small_medium_separator=128, medium_large_separator=2048),
+        ).run(BFS(source=src))
+        assert np.array_equal(a.values, b.values)

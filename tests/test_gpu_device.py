@@ -1,0 +1,285 @@
+"""Tests for the GPU device model: specs, memory, occupancy, cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu.device import (
+    DeviceOutOfMemory,
+    GPUDevice,
+    K20,
+    K40,
+    P100,
+    KNOWN_DEVICES,
+    get_device_spec,
+)
+from repro.gpu.kernel import Kernel, KernelLaunch, WorkEstimate
+from repro.gpu.registers import (
+    compute_cta_count,
+    compute_occupancy,
+    configurable_thread_count,
+)
+
+
+class TestSpecs:
+    def test_known_devices(self):
+        assert set(KNOWN_DEVICES) == {"K20", "K40", "P100"}
+        assert get_device_spec("k40") is K40
+        with pytest.raises(KeyError):
+            get_device_spec("V100")
+
+    def test_paper_register_file_sizes(self):
+        # Section 5 quotes these numbers explicitly.
+        assert K40.registers_per_smx == 65_536
+        assert K20.registers_per_smx == 32_768
+
+    def test_device_ordering_by_capability(self):
+        assert P100.memory_bandwidth_gbps > K40.memory_bandwidth_gbps > K20.memory_bandwidth_gbps
+        assert P100.peak_gips > K40.peak_gips > K20.peak_gips
+        assert P100.global_memory_bytes > K40.global_memory_bytes
+
+    def test_derived_quantities(self):
+        assert K40.total_cuda_cores == 15 * 192
+        assert K40.max_resident_threads == 15 * 2048
+
+
+class TestMemoryAllocator:
+    def test_alloc_and_free(self):
+        dev = GPUDevice(K40)
+        a = dev.malloc(1000, "a")
+        assert dev.allocated_bytes == 1000
+        dev.free(a)
+        assert dev.allocated_bytes == 0
+
+    def test_free_is_idempotent(self):
+        dev = GPUDevice(K40)
+        a = dev.malloc(1000)
+        dev.free(a)
+        dev.free(a)
+        assert dev.allocated_bytes == 0
+
+    def test_oom_raised(self):
+        dev = GPUDevice(K40, memory_scale=1e-9)
+        with pytest.raises(DeviceOutOfMemory):
+            dev.malloc(10**9, "huge")
+
+    def test_oom_message_mentions_label(self):
+        dev = GPUDevice(K40, memory_scale=1e-9)
+        with pytest.raises(DeviceOutOfMemory, match="edge_list"):
+            dev.malloc(10**9, "edge_list")
+
+    def test_reset_memory(self):
+        dev = GPUDevice(K40)
+        dev.malloc(100)
+        dev.malloc(200)
+        dev.reset_memory()
+        assert dev.allocated_bytes == 0
+        assert dev.free_bytes == dev.memory_capacity
+
+    def test_peak_allocation_tracked(self):
+        dev = GPUDevice(K40)
+        a = dev.malloc(500)
+        dev.malloc(300)
+        dev.free(a)
+        assert dev.profiler.peak_allocated_bytes == 800
+
+    def test_negative_allocation_rejected(self):
+        dev = GPUDevice(K40)
+        with pytest.raises(ValueError):
+            dev.malloc(-1)
+
+    def test_invalid_memory_scale_rejected(self):
+        with pytest.raises(ValueError):
+            GPUDevice(K40, memory_scale=0)
+
+
+class TestOccupancy:
+    def test_cta_count_formula_matches_paper_example(self):
+        # Section 5: 110 regs/thread, 128 threads/CTA on K40 -> 4 CTA/SMX,
+        # 60 CTAs total (the paper floors 65536 / (110 * 128) = 4.65 -> 4).
+        assert compute_cta_count(K40, registers_per_thread=110, threads_per_cta=128) == 60
+
+    def test_cta_count_halves_on_k20(self):
+        k40 = compute_cta_count(K40, registers_per_thread=110, threads_per_cta=128)
+        k20 = compute_cta_count(K20, registers_per_thread=110, threads_per_cta=128)
+        assert k20 < k40
+
+    def test_lower_registers_more_threads(self):
+        low = configurable_thread_count(K40, registers_per_thread=50, threads_per_cta=128)
+        high = configurable_thread_count(K40, registers_per_thread=110, threads_per_cta=128)
+        assert low > high
+
+    def test_occupancy_limited_by_registers(self):
+        info = compute_occupancy(K40, registers_per_thread=110, threads_per_cta=128)
+        assert info.limited_by == "registers"
+        assert info.occupancy < 0.5
+
+    def test_occupancy_limited_by_launch_size(self):
+        info = compute_occupancy(
+            K40, registers_per_thread=32, threads_per_cta=128, num_ctas=2
+        )
+        assert info.limited_by == "launch"
+        assert info.resident_ctas == 2
+        assert info.occupancy < 0.05
+
+    def test_occupancy_full_for_light_kernels(self):
+        info = compute_occupancy(K40, registers_per_thread=24, threads_per_cta=128)
+        assert info.occupancy == pytest.approx(1.0)
+
+    def test_occupancy_clamped_when_kernel_too_fat(self):
+        info = compute_occupancy(K40, registers_per_thread=100_000, threads_per_cta=128)
+        assert info.ctas_per_smx == 1
+        assert info.limited_by == "registers"
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            compute_occupancy(K40, registers_per_thread=0, threads_per_cta=128)
+        with pytest.raises(ValueError):
+            compute_cta_count(K40, registers_per_thread=10, threads_per_cta=0)
+
+    def test_resident_warps(self):
+        info = compute_occupancy(K40, registers_per_thread=32, threads_per_cta=128)
+        assert info.resident_warps == info.resident_threads // 32
+
+
+class TestKernelAbstraction:
+    def test_kernel_validation(self):
+        with pytest.raises(ValueError):
+            Kernel("bad", registers_per_thread=0)
+        with pytest.raises(ValueError):
+            Kernel("bad", registers_per_thread=32, threads_per_cta=100)
+        with pytest.raises(ValueError):
+            Kernel("bad", registers_per_thread=32, shared_mem_per_cta=-1)
+
+    def test_with_registers(self):
+        k = Kernel("k", 32)
+        k2 = k.with_registers(64)
+        assert k2.registers_per_thread == 64
+        assert k2.name == k.name
+
+    def test_work_estimate_validation(self):
+        with pytest.raises(ValueError):
+            WorkEstimate(divergence_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkEstimate(coalesced_bytes=-1)
+        with pytest.raises(ValueError):
+            WorkEstimate(atomic_ops=1, atomic_contention=0.5)
+
+    def test_work_estimate_nonzero(self):
+        assert not WorkEstimate().nonzero()
+        assert WorkEstimate(compute_ops=1).nonzero()
+
+    def test_merged_with_sums_components(self):
+        a = WorkEstimate(coalesced_bytes=100, compute_ops=10, atomic_ops=5,
+                         atomic_contention=2.0)
+        b = WorkEstimate(coalesced_bytes=50, compute_ops=30, atomic_ops=15,
+                         atomic_contention=4.0)
+        merged = a.merged_with(b)
+        assert merged.coalesced_bytes == 150
+        assert merged.compute_ops == 40
+        assert merged.atomic_ops == 20
+        # Contention is op-weighted: (5*2 + 15*4) / 20 = 3.5
+        assert merged.atomic_contention == pytest.approx(3.5)
+
+    def test_merged_divergence_weighted_by_compute(self):
+        a = WorkEstimate(compute_ops=10, divergence_fraction=0.0)
+        b = WorkEstimate(compute_ops=30, divergence_fraction=0.4)
+        assert a.merged_with(b).divergence_fraction == pytest.approx(0.3)
+
+
+class TestCostModel:
+    def _launch(self, device, **work_kwargs):
+        kernel = Kernel("test", 32)
+        return device.launch(KernelLaunch(kernel=kernel, work=WorkEstimate(**work_kwargs)))
+
+    def test_empty_work_costs_only_launch_overhead(self):
+        dev = GPUDevice(K40)
+        result = self._launch(dev)
+        assert result.total_us == pytest.approx(K40.kernel_launch_overhead_us)
+
+    def test_fused_continuation_skips_launch_overhead(self):
+        dev = GPUDevice(K40)
+        kernel = Kernel("fused", 48)
+        result = dev.launch(
+            KernelLaunch(kernel=kernel, work=WorkEstimate(compute_ops=1000),
+                         fused_continuation=True)
+        )
+        assert result.launch_overhead_us == 0.0
+        assert result.total_us > 0
+
+    def test_more_memory_traffic_costs_more(self):
+        dev = GPUDevice(K40)
+        small = self._launch(dev, coalesced_bytes=1e6)
+        large = self._launch(dev, coalesced_bytes=1e8)
+        assert large.memory_us > small.memory_us
+
+    def test_scattered_traffic_costs_more_than_coalesced(self):
+        dev = GPUDevice(K40)
+        # Same useful bytes: 1e6 coalesced vs 1e6/4 scattered 4-byte accesses.
+        coalesced = self._launch(dev, coalesced_bytes=1e6)
+        scattered = self._launch(dev, scattered_transactions=250_000)
+        assert scattered.memory_us > coalesced.memory_us
+
+    def test_atomics_add_cost_and_contention_hurts(self):
+        dev = GPUDevice(K40)
+        none = self._launch(dev, compute_ops=1e6)
+        some = self._launch(dev, compute_ops=1e6, atomic_ops=1e5)
+        contended = self._launch(dev, compute_ops=1e6, atomic_ops=1e5,
+                                 atomic_contention=64.0)
+        assert some.total_us > none.total_us
+        assert contended.atomic_us > some.atomic_us
+
+    def test_divergence_increases_compute_time(self):
+        dev = GPUDevice(K40)
+        converged = self._launch(dev, compute_ops=1e7)
+        diverged = self._launch(dev, compute_ops=1e7, divergence_fraction=0.9)
+        assert diverged.compute_us > converged.compute_us
+
+    def test_fat_kernel_slower_than_lean_kernel(self):
+        dev = GPUDevice(K40)
+        work = WorkEstimate(compute_ops=5e7, coalesced_bytes=5e7)
+        lean = dev.launch(KernelLaunch(kernel=Kernel("lean", 48), work=work))
+        fat = dev.launch(KernelLaunch(kernel=Kernel("fat", 110), work=work))
+        assert fat.busy_us > lean.busy_us
+
+    def test_p100_faster_than_k20(self):
+        work = WorkEstimate(compute_ops=1e7, coalesced_bytes=1e8)
+        kernel = Kernel("k", 48)
+        t_k20 = GPUDevice(K20).launch(KernelLaunch(kernel=kernel, work=work)).total_us
+        t_p100 = GPUDevice(P100).launch(KernelLaunch(kernel=kernel, work=work)).total_us
+        assert t_p100 < t_k20
+
+    def test_estimate_does_not_record(self):
+        dev = GPUDevice(K40)
+        dev.estimate(KernelLaunch(kernel=Kernel("k", 32), work=WorkEstimate()))
+        assert dev.profiler.launch_count() == 0
+        dev.launch(KernelLaunch(kernel=Kernel("k", 32), work=WorkEstimate()))
+        assert dev.profiler.launch_count() == 1
+
+    def test_profiler_breakdown_and_summary(self):
+        dev = GPUDevice(K40)
+        self._launch(dev, compute_ops=1e6, coalesced_bytes=1e6, atomic_ops=100)
+        breakdown = dev.profiler.breakdown()
+        assert breakdown["compute_us"] > 0
+        assert breakdown["memory_us"] > 0
+        summary = dev.profiler.summary()
+        assert summary["launches"] == 1
+        assert summary["device"] == "K40"
+
+    def test_profiler_by_kernel_queries(self):
+        dev = GPUDevice(K40)
+        kernel_a = Kernel("alpha", 32)
+        kernel_b = Kernel("beta", 32)
+        dev.launch(KernelLaunch(kernel=kernel_a, work=WorkEstimate(compute_ops=1e6)))
+        dev.launch(KernelLaunch(kernel=kernel_b, work=WorkEstimate(compute_ops=1e6)))
+        dev.launch(KernelLaunch(kernel=kernel_a, work=WorkEstimate(compute_ops=1e6),
+                                fused_continuation=True))
+        assert dev.profiler.launches_by_kernel() == {"alpha": 1, "beta": 1}
+        assert dev.profiler.phase_count() == 3
+        assert dev.profiler.fraction_in("alpha") > 0.5
+        assert dev.profiler.launch_count(include_fused=True) == 3
+
+    def test_cta_count_for_kernel(self):
+        dev = GPUDevice(K40)
+        assert dev.cta_count_for(Kernel("k", 110)) == 60

@@ -1,0 +1,212 @@
+"""Tests for the memory-traffic helpers, warp primitives, atomics profiling
+and device-wide primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpu import memory as gmem
+from repro.gpu import warp
+from repro.gpu.atomics import combined_profile, profile_atomic_updates
+from repro.gpu.primitives import compact_flags, concatenate_bins, exclusive_scan, fill
+
+
+class TestMemoryHelpers:
+    def test_sequential_bytes(self):
+        assert gmem.sequential_bytes(100, 4) == 400.0
+        with pytest.raises(ValueError):
+            gmem.sequential_bytes(-1, 4)
+
+    def test_scattered_accesses(self):
+        assert gmem.scattered_accesses(17) == 17.0
+
+    def test_adjacency_read_bytes_weighted_vs_not(self):
+        assert gmem.adjacency_read_bytes(100, weighted=True) == 800.0
+        assert gmem.adjacency_read_bytes(100, weighted=False) == 400.0
+
+    def test_offset_read_sorted_vs_random(self):
+        sorted_txn = gmem.offset_read_transactions(1000, sortedness=1.0)
+        random_txn = gmem.offset_read_transactions(1000, sortedness=0.0)
+        assert random_txn == 1000.0
+        assert sorted_txn == pytest.approx(250.0)
+        mid = gmem.offset_read_transactions(1000, sortedness=0.5)
+        assert sorted_txn < mid < random_txn
+
+    def test_metadata_scatter_locality_discount(self):
+        assert gmem.metadata_scatter_transactions(100) == 100.0
+        assert gmem.metadata_scatter_transactions(100, locality=0.5) == 50.0
+
+    def test_metadata_scan_reads_both_arrays(self):
+        assert gmem.metadata_scan_bytes(1000) == 8000.0
+
+    def test_worklist_sortedness(self):
+        assert gmem.worklist_sortedness(np.array([1, 2, 3, 4])) == 1.0
+        assert gmem.worklist_sortedness(np.array([4, 3, 2, 1])) == 0.0
+        assert gmem.worklist_sortedness(np.array([], dtype=np.int64)) == 1.0
+        assert 0.0 < gmem.worklist_sortedness(np.array([1, 3, 2, 4])) < 1.0
+
+    def test_redundancy_factor(self):
+        assert gmem.redundancy_factor(np.array([1, 2, 3])) == 1.0
+        assert gmem.redundancy_factor(np.array([1, 1, 2, 2])) == 2.0
+        assert gmem.redundancy_factor(np.array([], dtype=np.int64)) == 1.0
+
+    def test_frontier_expansion_traffic_components(self):
+        t = gmem.frontier_expansion_traffic(10, 100, sortedness=1.0, weighted=True)
+        assert t.coalesced_bytes == pytest.approx(10 * 4 + 100 * 8)
+        assert t.scattered_transactions > 0
+        unsorted = gmem.frontier_expansion_traffic(10, 100, sortedness=0.0)
+        assert unsorted.scattered_transactions > t.scattered_transactions
+
+    def test_pull_expansion_traffic(self):
+        t = gmem.pull_expansion_traffic(10, 100)
+        assert t.coalesced_bytes > 0
+        assert t.scattered_transactions == 100.0
+
+    def test_traffic_addition(self):
+        a = gmem.FrontierTraffic(10.0, 5.0)
+        b = gmem.FrontierTraffic(1.0, 2.0)
+        c = a + b
+        assert c.coalesced_bytes == 11.0 and c.scattered_transactions == 7.0
+
+
+class TestWarpPrimitives:
+    def test_num_warps(self):
+        assert warp.num_warps(0) == 0
+        assert warp.num_warps(1) == 1
+        assert warp.num_warps(32) == 1
+        assert warp.num_warps(33) == 2
+
+    def test_ballot_bitmask(self):
+        assert warp.ballot([True, False, True]) == 0b101
+        assert warp.ballot([False] * 32) == 0
+        assert warp.ballot([True] * 32) == (1 << 32) - 1
+
+    def test_ballot_rejects_oversized_warp(self):
+        with pytest.raises(ValueError):
+            warp.ballot([True] * 33)
+
+    def test_ballot_array_matches_scalar_ballot(self):
+        rng = np.random.default_rng(3)
+        flags = rng.random(100) < 0.3
+        masks = warp.ballot_array(flags)
+        assert masks.shape[0] == warp.num_warps(100)
+        for w in range(masks.shape[0]):
+            chunk = flags[w * 32:(w + 1) * 32]
+            assert int(masks[w]) == warp.ballot(chunk)
+
+    def test_popcount_matches_flag_count(self):
+        rng = np.random.default_rng(4)
+        flags = rng.random(256) < 0.5
+        masks = warp.ballot_array(flags)
+        assert int(warp.popcount(masks).sum()) == int(flags.sum())
+
+    def test_warp_reduce(self):
+        assert warp.warp_reduce(np.array([3.0, 1.0, 2.0]), np.min) == 1.0
+        assert warp.warp_reduce(np.array([3.0, 1.0, 2.0]), np.sum) == 6.0
+        with pytest.raises(ValueError):
+            warp.warp_reduce(np.array([]), np.min)
+        with pytest.raises(ValueError):
+            warp.warp_reduce(np.zeros(40), np.min)
+
+    def test_reduction_primitive_ops_scaling(self):
+        assert warp.reduction_primitive_ops(0) == 0.0
+        assert warp.reduction_primitive_ops(32) == 5.0
+        assert warp.reduction_primitive_ops(64) > warp.reduction_primitive_ops(32)
+
+    def test_divergence_uniform_work_is_zero(self):
+        assert warp.divergence_fraction(np.full(64, 7.0)) == 0.0
+
+    def test_divergence_single_busy_lane_high(self):
+        work = np.zeros(32)
+        work[0] = 100
+        assert warp.divergence_fraction(work) > 0.9
+
+    def test_divergence_empty_input(self):
+        assert warp.divergence_fraction(np.array([])) == 0.0
+
+    def test_divergence_skewed_greater_than_uniform(self):
+        rng = np.random.default_rng(5)
+        uniform = rng.integers(10, 12, size=256)
+        skewed = rng.pareto(1.2, size=256) * 10
+        assert warp.divergence_fraction(skewed) > warp.divergence_fraction(uniform)
+
+    def test_warp_combine_matches_numpy_reduction(self):
+        rng = np.random.default_rng(6)
+        updates = rng.random(100)
+        result = warp.warp_combine(updates, np.min)
+        assert result.value == pytest.approx(updates.min())
+        assert result.primitive_ops > 0
+        result_sum = warp.warp_combine(updates, np.sum)
+        assert result_sum.value == pytest.approx(updates.sum())
+
+    def test_warp_combine_requires_updates(self):
+        with pytest.raises(ValueError):
+            warp.warp_combine(np.array([]), np.min)
+
+
+class TestAtomicsProfiling:
+    def test_empty_profile(self):
+        p = profile_atomic_updates(np.array([], dtype=np.int64))
+        assert p.num_ops == 0 and p.contention == 1.0 and p.max_contention == 0
+
+    def test_uniform_destinations_low_contention(self):
+        p = profile_atomic_updates(np.arange(1000))
+        assert p.num_ops == 1000
+        assert p.contention == pytest.approx(1.0)
+        assert p.max_contention == 1
+
+    def test_hub_destination_high_contention(self):
+        p = profile_atomic_updates(np.zeros(1000, dtype=np.int64))
+        assert p.contention == pytest.approx(1000.0)
+        assert p.max_contention == 1000
+
+    def test_mixed_contention_between_extremes(self):
+        dests = np.concatenate([np.zeros(100, dtype=np.int64), np.arange(1, 901)])
+        p = profile_atomic_updates(dests)
+        assert 1.0 < p.contention < 100.0
+
+    def test_scaled(self):
+        p = profile_atomic_updates(np.zeros(100, dtype=np.int64)).scaled(0.5)
+        assert p.num_ops == 50
+        assert p.max_contention == 100
+
+    def test_combined_profile_weighted(self):
+        a = profile_atomic_updates(np.zeros(100, dtype=np.int64))
+        b = profile_atomic_updates(np.arange(100))
+        combined = combined_profile([a, b])
+        assert combined.num_ops == 200
+        assert 1.0 < combined.contention < 100.0
+        assert combined_profile([]).num_ops == 0
+
+
+class TestDevicePrimitives:
+    def test_exclusive_scan_values(self):
+        result = exclusive_scan(np.array([3, 0, 2, 5]))
+        assert np.array_equal(result.values, [0, 3, 3, 5, 10])
+        assert result.work.compute_ops > 0
+
+    def test_exclusive_scan_empty(self):
+        result = exclusive_scan(np.array([], dtype=np.int64))
+        assert np.array_equal(result.values, [0])
+
+    def test_concatenate_bins_preserves_order_and_content(self):
+        bins = [np.array([5, 1]), np.array([], dtype=np.int64), np.array([7])]
+        result = concatenate_bins(bins)
+        assert np.array_equal(result.values, [5, 1, 7])
+
+    def test_compact_flags_sorted_indices(self):
+        flags = np.array([False, True, True, False, True])
+        result = compact_flags(flags)
+        assert np.array_equal(result.values, [1, 2, 4])
+        assert np.all(np.diff(result.values) > 0)
+
+    def test_compact_flags_empty(self):
+        result = compact_flags(np.zeros(10, dtype=bool))
+        assert result.values.size == 0
+
+    def test_fill_cost(self):
+        work = fill(0.0, 1000)
+        assert work.coalesced_bytes == 4000.0
+        with pytest.raises(ValueError):
+            fill(0.0, -1)
