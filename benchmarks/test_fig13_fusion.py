@@ -60,3 +60,17 @@ def test_figure13_push_pull_fusion(ctx, benchmark):
         r["all_fusion_speedup"] is not None and r["all_fusion_speedup"] < 1.05
         for r in dense_rows
     )
+
+    # Push-pull fusion only exists because iterations really alternate
+    # between scatter and gather execution: every algorithm runs at least
+    # one genuine pull iteration somewhere in the sweep, and the selectively
+    # fused kernel relaunches exactly once per executed direction phase
+    # (switches + 1, the Table 2 launch rule).
+    for algorithm in averages:
+        assert any(
+            r["pull_iterations"] > 0
+            for r in result["rows"] if r["algorithm"] == algorithm
+        ), algorithm
+    for r in result["rows"]:
+        if r["iterations"]:
+            assert r["push_pull_launches"] == r["direction_switches"] + 1, r

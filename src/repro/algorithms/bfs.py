@@ -6,6 +6,11 @@ offers arriving at a vertex in one iteration carry the same value, so the
 combine is a *vote* (any single update suffices), which is what enables the
 collaborative early termination the paper credits for part of the Figure 5
 speedup. A vertex is active exactly when its level changed this iteration.
+
+In pull (gather) iterations - the middle of the traversal, when the frontier
+covers most of the graph - only *unvisited* vertices gather over their
+in-edges (``gather_mask``), the classic bottom-up optimization of Beamer et
+al. that SIMD-X's direction selector exists to exploit.
 """
 
 from __future__ import annotations
@@ -48,6 +53,12 @@ class BFS(ACCAlgorithm):
 
     def apply(self, old, combined, touched):
         return np.minimum(old, combined)
+
+    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        # Bottom-up (Beamer-style) BFS: only unvisited vertices gather. A
+        # visited vertex's level is final - every later offer is larger - so
+        # skipping it drops only edges whose update would be NaN anyway.
+        return np.isinf(metadata)
 
     def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
         """BFS levels as int64, with -1 for unreachable vertices."""

@@ -67,6 +67,13 @@ class KCore(ACCAlgorithm):
     def apply(self, old, combined, touched):
         return np.maximum(old - combined, 0.0)
 
+    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        # Pull iterations gather only at vertices still in the core: compute
+        # sends no decrement to a vertex already below k (the paper's
+        # stop-subtracting guard), so deleted vertices have nothing to
+        # gather.
+        return metadata >= self.k
+
     def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
         """Remaining degrees after peeling (>= k means the vertex survives)."""
         return metadata

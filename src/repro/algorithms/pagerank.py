@@ -19,7 +19,10 @@ The fixed point of this process is the standard damped PageRank. In the
 early iterations every vertex is active (the JIT controller flips to the
 ballot filter immediately, as Figure 8 notes for PR); late iterations have a
 small frontier, which is when the engine's direction selector switches the
-computation to push mode, mirroring the paper's decision-tree switch.
+computation to push mode, mirroring the paper's decision-tree switch. The
+pull iterations are genuine gathers over the in-CSR: every vertex collects
+the pending deltas of its in-neighbours that are in the frontier, which
+produces bit-identical ranks to the scatter formulation.
 """
 
 from __future__ import annotations

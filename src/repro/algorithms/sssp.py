@@ -16,6 +16,12 @@ scheduling, where only vertices whose tentative distance falls inside the
 current bucket are eligible and the bucket advances once it drains. Both
 schedules converge to the same distances; the bucketed one trades extra
 iterations for fewer wasted relaxations on weighted graphs.
+
+Direction is orthogonal to the schedule: a pull iteration gathers the same
+``dist(src) + w`` offers over in-edges whose source lies in the frontier, so
+the pending-set bookkeeping (``on_frontier_expanded`` clears the frontier's
+outstanding improvements, ``apply`` re-marks improved destinations) behaves
+identically whether the frontier scattered or the destinations gathered.
 """
 
 from __future__ import annotations

@@ -8,11 +8,14 @@ its label shrank. At convergence all vertices of a weakly connected component
 share the smallest vertex id in the component.
 
 On directed graphs the propagation must ignore edge direction to compute
-*weak* connectivity; the engine expands out-edges only, so ``init`` seeds the
-frontier with every vertex and the symmetric closure emerges over iterations
-as labels flow both ways along each stored direction (for directed inputs,
-both the out- and in-CSR views contain each edge once, and running on the
-undirected datasets the question does not arise).
+*weak* connectivity; a single iteration only moves labels along the stored
+direction (out-edges in push mode, the same edges walked from the in-CSR in
+pull mode), so ``init`` seeds the frontier with every vertex and the
+symmetric closure emerges over iterations as labels flow both ways along
+each stored direction (for directed inputs, both the out- and in-CSR views
+contain each edge once, and running on the undirected datasets the question
+does not arise). Because push and pull walk the identical edge set, the
+labels converge identically in either direction.
 """
 
 from __future__ import annotations

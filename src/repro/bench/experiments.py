@@ -327,6 +327,11 @@ def figure12(
                     "jit_ms": None if jit.failed else jit.elapsed_ms,
                     "online_speedup_vs_ballot": _ratio(ballot, online),
                     "jit_speedup_vs_ballot": _ratio(ballot, jit),
+                    # Executed directions of the JIT run (the gather
+                    # iterations never overflow the online bins - each
+                    # worker records its own destination once - so the
+                    # filter choice correlates with the direction phase).
+                    "jit_pull_iterations": jit.direction_trace.count("pull"),
                 }
             )
     averages = {}
@@ -365,16 +370,25 @@ def figure13(
                     config=EngineConfig(fusion=strategy),
                 )
             base = runs[FusionStrategy.NONE]
+            push_pull = runs[FusionStrategy.PUSH_PULL]
+            switches = push_pull.extra.get("direction_switches", 0)
             rows.append(
                 {
                     "algorithm": algorithm_name,
                     "graph": abbrev,
                     "non_fusion_ms": base.elapsed_ms,
                     "all_fusion_ms": runs[FusionStrategy.ALL].elapsed_ms,
-                    "push_pull_ms": runs[FusionStrategy.PUSH_PULL].elapsed_ms,
+                    "push_pull_ms": push_pull.elapsed_ms,
                     "all_fusion_speedup": _ratio(base, runs[FusionStrategy.ALL]),
-                    "push_pull_speedup": _ratio(base, runs[FusionStrategy.PUSH_PULL]),
+                    "push_pull_speedup": _ratio(base, push_pull),
                     "iterations": base.iterations,
+                    # Direction fidelity of the selectively-fused run: the
+                    # executed gather iterations, the phase switches, and the
+                    # launches those switches forced (Table 2's launch rule:
+                    # one per direction phase).
+                    "pull_iterations": push_pull.direction_trace.count("pull"),
+                    "direction_switches": switches,
+                    "push_pull_launches": push_pull.kernel_launches,
                 }
             )
     averages = {}

@@ -25,6 +25,12 @@ Two combine classes exist (Section 3.2):
   k-Core's decrement count); overwrites are not tolerated.
 * **voting** -- all updates are identical, so receiving any one of them is
   enough (BFS, WCC); this enables collaborative early termination.
+
+The same three functions serve both execution directions: a push iteration
+scatters ``compute`` over the frontier's out-edges, a pull iteration gathers
+the identical per-edge updates over destinations' in-edges (the optional
+``gather_edges`` / ``gather_mask`` hooks let an algorithm specialize the
+gather without changing its results).
 """
 
 from __future__ import annotations
@@ -202,7 +208,49 @@ class ACCAlgorithm(abc.ABC):
         Delta-accumulative algorithms (PageRank, BP) use this to mark the
         frontier's pending contributions as pushed; the default is a no-op.
         On the GPU this bookkeeping happens inside the compute kernel itself.
+        The engine fires the hook in pull iterations too (the frontier's
+        contributions are consumed whether they are scattered or gathered),
+        under the same condition as in push mode: the frontier had at least
+        one out-edge to expand.
         """
+
+    def gather_edges(
+        self,
+        src_meta: np.ndarray,
+        weights: np.ndarray,
+        dst_meta: np.ndarray,
+        src_ids: np.ndarray,
+        dst_ids: np.ndarray,
+        graph: CSRGraph,
+    ) -> np.ndarray:
+        """Pull-mode ``Compute``: the update an in-edge (v, u) contributes
+        while destination ``u`` gathers over its in-neighbours.
+
+        Arguments keep the push orientation (``src`` is the producing
+        endpoint ``v``), so the default delegates to :meth:`compute_edges`
+        and both directions evaluate bit-identical per-edge arithmetic -
+        the invariant the engine's push/pull equivalence tests enforce.
+        Algorithms override this only when the gather formulation itself
+        differs; savings like voting early-termination are modelled in the
+        engine's cost layer instead.
+        """
+        return self.compute_edges(src_meta, weights, dst_meta, src_ids, dst_ids, graph)
+
+    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+        """Boolean mask of vertices worth gathering at in a pull iteration.
+
+        The engine gathers at every masked vertex that has at least one
+        in-edge. The default - every vertex - is always correct; algorithms
+        whose ``compute`` provably yields no update for some destinations
+        (BFS's already-visited vertices, k-Core's deleted ones) override it
+        to shrink the gather worklist, the way Beamer's bottom-up BFS skips
+        visited vertices. An override must never exclude a destination that
+        could still receive a valid (non-``no_update``) offer, and
+        algorithms that also override :meth:`on_frontier_expanded` should
+        keep the default mask so the hook fires under identical conditions
+        in both directions.
+        """
+        return np.ones(metadata.shape[0], dtype=bool)
 
     def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
         """Translate metadata into the user-facing result (default identity)."""

@@ -74,6 +74,19 @@ class DirectionSelector:
         self.history.append(self._current)
         return self._current
 
+    def force(self, direction: Direction) -> Direction:
+        """Record an externally-imposed direction for the next iteration.
+
+        Manual (non-auto) engine configurations pin the direction instead of
+        calling :meth:`decide`; going through ``force`` keeps the selector's
+        state machine - ``current``, ``history`` and therefore
+        :meth:`switches` / :meth:`phase_lengths` - consistent with what the
+        engine actually executed.
+        """
+        self._current = direction
+        self.history.append(direction)
+        return direction
+
     def switches(self) -> int:
         """Number of direction changes over the recorded history."""
         return sum(

@@ -3,24 +3,37 @@
 The engine runs an :class:`~repro.core.acc.ACCAlgorithm` as a BSP loop. Each
 iteration:
 
-1. classifies the active worklist into small/medium/large lists by degree
-   (Section 4 step I) so the Thread / Warp / CTA kernels each receive
-   similarly-sized tasks (step II);
-2. functionally evaluates ``Compute`` over the expanded edges and ``Combine``
-   per destination with NumPy - the atomic-free combine of the ACC model;
-3. applies the combined updates, derives the new active mask, and asks the
+1. picks the execution direction with the Beamer-style selector (Section 5):
+   the frontier's out-edge share decides between *push* (scatter the
+   frontier's out-edges) and *pull* (every candidate destination gathers
+   over its in-edges); manual configurations pin the direction through
+   :meth:`DirectionSelector.force` so the selector's history still matches
+   what ran;
+2. classifies the direction's worklist into small/medium/large lists by the
+   matching degree - out-degree of the frontier in push mode, in-degree of
+   the gather candidates in pull mode (Section 4 step I) - so the Thread /
+   Warp / CTA kernels each receive similarly-sized tasks (step II);
+3. functionally evaluates ``Compute`` over the expanded edges (out-CSR
+   scatter or in-CSR gather, both with the same vectorized ``np.repeat`` /
+   ``cumsum`` CSR walk) and ``Combine`` per destination with NumPy - the
+   atomic-free combine of the ACC model. Push and pull feed every edge the
+   identical operands in the identical per-destination order, so the two
+   directions produce bit-identical vertex values;
+4. applies the combined updates, derives the new active mask, and asks the
    configured filter (JIT / online / ballot / batch / strided / atomic) for
-   the next worklist;
-4. charges the simulated device for the compute kernels, the task-management
+   the next worklist. In push mode the recording workers are the frontier
+   slots (one per scatter source); in pull mode each gather worker records
+   its own destination once, post-combine;
+5. charges the simulated device for the compute kernels, the task-management
    kernel, the software global barrier (for fused strategies) and any kernel
-   launches the fusion strategy requires;
-5. switches between push and pull according to the direction selector, which
-   in turn determines when the push-pull fusion strategy must relaunch.
+   launches the fusion strategy requires - and the push-pull fusion plan
+   relaunches exactly when the executed direction switches, so
+   ``direction_trace`` always reflects the expansion path that actually ran.
 
 The functional result (distances, ranks, core flags) is identical across
-filter modes, fusion strategies and devices; only the simulated time and the
-recorded traces change. That separation mirrors the paper's own claim that
-programming (ACC) is decoupled from processing (JIT + fusion).
+filter modes, fusion strategies, directions and devices; only the simulated
+time and the recorded traces change. That separation mirrors the paper's own
+claim that programming (ACC) is decoupled from processing (JIT + fusion).
 """
 
 from __future__ import annotations
@@ -74,6 +87,10 @@ class EngineConfig:
     to_pull_threshold: float = 0.05
     to_push_threshold: float = 0.01
     direction_auto: bool = True
+    #: With ``direction_auto=False``, every iteration runs in this direction
+    #: (``None`` falls back to the algorithm's starting direction). Useful
+    #: for forcing a pure scatter or pure gather execution.
+    forced_direction: Optional[Direction] = None
     max_iterations: Optional[int] = None
     shadow_online: bool = True
     #: When True, the Combine step is priced as Gunrock prices it - direct
@@ -82,15 +99,32 @@ class EngineConfig:
     #: unchanged; only the cost differs.
     atomic_combine: bool = False
 
+    def __post_init__(self) -> None:
+        if self.direction_auto and self.forced_direction is not None:
+            raise ValueError(
+                "forced_direction requires direction_auto=False; with "
+                "direction_auto=True the selector would silently ignore it"
+            )
+
 
 @dataclass
 class _ExpansionResult:
-    """Functional outcome of expanding one frontier."""
+    """Functional outcome of expanding one frontier (push or pull)."""
 
     touched: np.ndarray          # unique destinations whose value changed
     update_destinations: np.ndarray   # destination of every valid update
-    update_producers: np.ndarray      # frontier slot that produced each update
+    #: What the task-management filter observes: in push mode one entry per
+    #: valid update (the scatter thread saw each one happen); in pull mode
+    #: one entry per destination that received any update (the gather thread
+    #: learns about its own vertex once, post-combine).
+    recorded_destinations: np.ndarray
+    recorded_producers: np.ndarray    # worker slot owning each recorded entry
+    num_workers: int                  # worker threads (frontier / receivers)
     edges_expanded: int
+    #: Edges whose source was in the frontier (== ``edges_expanded`` in push
+    #: mode). A pull iteration scans every candidate in-edge but only these
+    #: pay the scattered source-metadata read and the Compute evaluation.
+    active_edges: int = 0
 
 
 class SIMDXEngine:
@@ -111,11 +145,28 @@ class SIMDXEngine:
             graph,
             small_medium_separator=self.config.small_medium_separator,
             medium_large_separator=self.config.medium_large_separator,
+            direction=Direction.PUSH,
         )
+        # Built on the first pull iteration: classifying a gather worklist
+        # needs in-degrees, which force the lazy in-CSR transpose.
+        self._pull_classifier: Optional[WorklistClassifier] = None
+        self._in_degrees: Optional[np.ndarray] = None
         self.fusion_plan = FusionPlan(
             self.config.fusion, threads_per_cta=self.config.threads_per_cta
         )
         self._graph_alloc = None
+
+    @property
+    def pull_classifier(self) -> WorklistClassifier:
+        """In-degree classifier for gather (pull) worklists, built lazily."""
+        if self._pull_classifier is None:
+            self._pull_classifier = WorklistClassifier(
+                self.graph,
+                small_medium_separator=self.config.small_medium_separator,
+                medium_large_separator=self.config.medium_large_separator,
+                direction=Direction.PULL,
+            )
+        return self._pull_classifier
 
     # ------------------------------------------------------------------
     # Public API
@@ -198,7 +249,10 @@ class SIMDXEngine:
 
         barrier = self._make_barrier()
 
-        max_iterations = cfg.max_iterations or algorithm.max_iterations
+        max_iterations = (
+            cfg.max_iterations if cfg.max_iterations is not None
+            else algorithm.max_iterations
+        )
         records: List[IterationRecord] = []
         filter_trace: List[str] = []
         direction_trace: List[str] = []
@@ -209,29 +263,49 @@ class SIMDXEngine:
             iteration += 1
             prev_metadata = metadata.copy()
 
-            classified = self.classifier.classify(frontier)
-            frontier_edges = classified.total_edges
+            # ---------------- direction + worklist classification --------
+            # The Beamer-style test prices the frontier by its out-edges
+            # (the would-be push cost); pull iterations then reclassify the
+            # gather worklist by in-degree, push iterations reuse the
+            # frontier classification as-is.
+            push_classified = self.classifier.classify(frontier)
+            frontier_out_edges = push_classified.total_edges
             if cfg.direction_auto:
-                direction = selector.decide(frontier_edges)
+                direction = selector.decide(frontier_out_edges)
             else:
-                direction = selector.start_direction
-                selector.history.append(direction)
+                direction = selector.force(
+                    cfg.forced_direction or selector.start_direction
+                )
+
+            if direction is Direction.PULL:
+                candidates = self._gather_candidates(algorithm, metadata)
+                classifier = self.pull_classifier
+                classified = classifier.classify(candidates)
+            else:
+                candidates = None
+                classifier = self.classifier
+                classified = push_classified
+            frontier_edges = classified.total_edges
 
             # ---------------- functional compute + combine + apply ------
-            expansion = self._expand_and_apply(algorithm, metadata, frontier)
+            expansion = self._expand_and_apply(
+                algorithm, metadata, frontier, direction,
+                candidates=candidates,
+                frontier_out_edges=frontier_out_edges,
+            )
 
             # ---------------- next worklist (task management) -----------
             active_mask = algorithm.active_mask(metadata, prev_metadata)
             # The online/batch/atomic filters record destinations that just
-            # became active, as observed by the thread that updated them.
-            recorded = active_mask[expansion.update_destinations]
+            # became active, as observed by the worker that updated them.
+            recorded = active_mask[expansion.recorded_destinations]
             ctx = FilterContext(
                 num_vertices=n,
-                updated_destinations=expansion.update_destinations[recorded],
-                producer_thread=expansion.update_producers[recorded],
+                updated_destinations=expansion.recorded_destinations[recorded],
+                producer_thread=expansion.recorded_producers[recorded],
                 active_mask=active_mask,
                 frontier_edges=expansion.edges_expanded,
-                num_worker_threads=max(1, int(frontier.size)),
+                num_worker_threads=max(1, expansion.num_workers),
             )
             if jit is not None:
                 filter_result = jit.build(ctx, iteration)
@@ -258,11 +332,15 @@ class SIMDXEngine:
             atomic_profile = None
             if cfg.atomic_combine:
                 atomic_profile = profile_atomic_updates(expansion.update_destinations)
-            compute_us, launch_us = self._charge_compute(
-                classified, direction, sortedness, algorithm,
+            compute_us, launch_us, task_kernel = self._charge_compute(
+                classified, classifier, direction, sortedness, algorithm,
                 atomic_profile=atomic_profile,
+                active_edge_fraction=(
+                    expansion.active_edges / expansion.edges_expanded
+                    if expansion.edges_expanded else 1.0
+                ),
             )
-            filter_us = self._charge_filter(filter_result, direction)
+            filter_us = self._charge_filter(filter_result, direction, task_kernel)
             barrier_us = self._charge_barrier(barrier)
 
             if transient_alloc is not None:
@@ -321,31 +399,79 @@ class SIMDXEngine:
     # ------------------------------------------------------------------
     # Functional expansion (Compute + Combine + apply)
     # ------------------------------------------------------------------
+    def _gather_candidates(
+        self, algorithm: ACCAlgorithm, metadata: np.ndarray
+    ) -> np.ndarray:
+        """Destinations a pull iteration gathers at.
+
+        The algorithm's ``gather_mask`` prunes destinations that provably
+        cannot receive a valid update; vertices without in-edges have
+        nothing to gather either way.
+        """
+        mask = np.asarray(
+            algorithm.gather_mask(metadata, self.graph), dtype=bool
+        )
+        if self._in_degrees is None:
+            self._in_degrees = self.graph.in_degrees()
+        return np.nonzero(mask & (self._in_degrees > 0))[0].astype(np.int64)
+
     def _expand_and_apply(
         self,
         algorithm: ACCAlgorithm,
         metadata: np.ndarray,
         frontier: np.ndarray,
+        direction: Direction,
+        *,
+        candidates: Optional[np.ndarray] = None,
+        frontier_out_edges: int = 0,
     ) -> _ExpansionResult:
-        graph = self.graph
-        csr = graph.out_csr
-        offsets = csr.offsets.astype(np.int64)
-        degrees = np.diff(offsets)
+        if direction is Direction.PULL:
+            if candidates is None:
+                candidates = self._gather_candidates(algorithm, metadata)
+            return self._expand_pull(
+                algorithm, metadata, frontier, candidates, frontier_out_edges
+            )
+        return self._expand_push(algorithm, metadata, frontier)
 
-        counts = degrees[frontier]
+    @staticmethod
+    def _walk_edges(csr, worklist: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Vectorized CSR walk shared by both directions.
+
+        For every vertex in ``worklist``, produces the global edge indices
+        of its adjacency row in ``csr`` plus the owning worklist slot per
+        edge; returns ``(slot, edge_idx, total_edges)``. Push walks the
+        out-CSR with the frontier, pull walks the in-CSR with the gather
+        candidates - one implementation so the two cannot drift apart.
+        """
+        offsets = csr.offsets.astype(np.int64)
+        counts = np.diff(offsets)[worklist]
         total = int(counts.sum())
         if total == 0:
             empty = np.zeros(0, dtype=np.int64)
-            return _ExpansionResult(empty, empty, empty, 0)
-
-        starts = offsets[frontier]
-        # Vectorized CSR gather: edge index array covering every out-edge of
-        # every frontier vertex.
-        cum = np.zeros(frontier.size, dtype=np.int64)
+            return empty, empty, 0
+        starts = offsets[worklist]
+        cum = np.zeros(worklist.size, dtype=np.int64)
         np.cumsum(counts[:-1], out=cum[1:])
         edge_idx = np.repeat(starts - cum, counts) + np.arange(total, dtype=np.int64)
+        slot = np.repeat(np.arange(worklist.size, dtype=np.int64), counts)
+        return slot, edge_idx, total
 
-        src_slot = np.repeat(np.arange(frontier.size, dtype=np.int64), counts)
+    def _expand_push(
+        self,
+        algorithm: ACCAlgorithm,
+        metadata: np.ndarray,
+        frontier: np.ndarray,
+    ) -> _ExpansionResult:
+        """Scatter: expand every out-edge of every frontier vertex."""
+        graph = self.graph
+        csr = graph.out_csr
+        num_workers = int(frontier.size)
+
+        src_slot, edge_idx, total = self._walk_edges(csr, frontier)
+        if total == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return _ExpansionResult(empty, empty, empty, empty, num_workers, 0, 0)
+
         src = frontier[src_slot]
         dst = csr.targets[edge_idx].astype(np.int64)
         weights = csr.weights[edge_idx].astype(np.float64)
@@ -363,10 +489,113 @@ class SIMDXEngine:
 
         if updates.size == 0:
             empty = np.zeros(0, dtype=np.int64)
-            return _ExpansionResult(empty, empty, empty, total)  # nothing changed
+            return _ExpansionResult(
+                empty, empty, empty, empty, num_workers, total, total
+            )  # nothing changed
 
+        changed_vertices = self._combine_and_apply(algorithm, metadata, updates, dst)
+        return _ExpansionResult(
+            touched=changed_vertices,
+            update_destinations=dst,
+            recorded_destinations=dst,
+            recorded_producers=src_slot,
+            num_workers=num_workers,
+            edges_expanded=total,
+            active_edges=total,
+        )
+
+    def _expand_pull(
+        self,
+        algorithm: ACCAlgorithm,
+        metadata: np.ndarray,
+        frontier: np.ndarray,
+        candidates: np.ndarray,
+        frontier_out_edges: int,
+    ) -> _ExpansionResult:
+        """Gather: every candidate destination walks its in-edges and keeps
+        the contributions whose source lies in the frontier.
+
+        The kept edge set is exactly the frontier's out-edge set (possibly
+        minus edges ``gather_mask`` proved updateless), the per-edge operands
+        match the push path, and the in-CSR's (destination, source) sort
+        order reproduces the push path's per-destination combine order - so
+        push and pull produce bit-identical vertex values.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        csr = graph.in_csr
+        empty = np.zeros(0, dtype=np.int64)
+
+        dst_slot, edge_idx, total = self._walk_edges(csr, candidates)
+        if total == 0:
+            # Fire the frontier hook under the same condition as push mode:
+            # the frontier had out-edges to consume.
+            if frontier_out_edges > 0:
+                algorithm.on_frontier_expanded(frontier, metadata)
+            return _ExpansionResult(empty, empty, empty, empty, 0, 0, 0)
+
+        dst = candidates[dst_slot]
+        src = csr.targets[edge_idx].astype(np.int64)
+
+        # Each gather consults the frontier bitmap: only in-edges whose
+        # source is active contribute this iteration.
+        in_frontier = np.zeros(n, dtype=bool)
+        in_frontier[frontier] = True
+        keep = in_frontier[src]
+        if not keep.all():
+            dst_slot = dst_slot[keep]
+            dst = dst[keep]
+            src = src[keep]
+            edge_idx = edge_idx[keep]
+        if src.size == 0:
+            if frontier_out_edges > 0:
+                algorithm.on_frontier_expanded(frontier, metadata)
+            return _ExpansionResult(empty, empty, empty, empty, 0, total, 0)
+
+        active = int(src.size)
+        weights = csr.weights[edge_idx].astype(np.float64)
+        updates = algorithm.gather_edges(
+            metadata[src], weights, metadata[dst], src, dst, graph
+        )
+        updates = np.asarray(updates, dtype=np.float64)
+        algorithm.on_frontier_expanded(frontier, metadata)
+        valid = ~np.isnan(updates)
+        if not valid.all():
+            dst_slot = dst_slot[valid]
+            dst = dst[valid]
+            updates = updates[valid]
+
+        if updates.size == 0:
+            return _ExpansionResult(empty, empty, empty, empty, 0, total, active)
+
+        changed_vertices = self._combine_and_apply(algorithm, metadata, updates, dst)
+        # A gather worker learns only about its own vertex: it records the
+        # destination once, post-combine, not once per incoming edge. Workers
+        # whose gather produced nothing own empty bins and contribute no
+        # recording or concatenation work, so the filter context only sees
+        # the receivers (with compacted worker slots).
+        receiver_slots = np.unique(dst_slot)
+        receivers = candidates[receiver_slots]
+        return _ExpansionResult(
+            touched=changed_vertices,
+            update_destinations=dst,
+            recorded_destinations=receivers,
+            recorded_producers=np.arange(receivers.size, dtype=np.int64),
+            num_workers=int(receivers.size),
+            edges_expanded=total,
+            active_edges=active,
+        )
+
+    def _combine_and_apply(
+        self,
+        algorithm: ACCAlgorithm,
+        metadata: np.ndarray,
+        updates: np.ndarray,
+        dst: np.ndarray,
+    ) -> np.ndarray:
+        """Shared Combine + apply tail; returns the changed vertices."""
         combined = algorithm.combine_op.segment_reduce(
-            updates, dst, graph.num_vertices
+            updates, dst, self.graph.num_vertices
         )
         touched = np.unique(dst)
         old_values = metadata[touched]
@@ -374,13 +603,7 @@ class SIMDXEngine:
         changed = new_values != old_values
         changed_vertices = touched[changed]
         metadata[changed_vertices] = new_values[changed]
-
-        return _ExpansionResult(
-            touched=changed_vertices,
-            update_destinations=dst,
-            update_producers=src_slot,
-            edges_expanded=total,
-        )
+        return changed_vertices
 
     # ------------------------------------------------------------------
     # Cost accounting helpers
@@ -403,8 +626,16 @@ class SIMDXEngine:
         direction: Direction,
         sortedness: float,
         algorithm: ACCAlgorithm,
+        active_fraction: float = 1.0,
     ) -> WorkEstimate:
-        """Work estimate for one compute stage (thread / warp / cta kernel)."""
+        """Work estimate for one compute stage (thread / warp / cta kernel).
+
+        ``active_fraction`` is the share of this iteration's edges whose
+        source lies in the frontier: a gather scans every candidate in-edge
+        (coalesced adjacency reads) but checks the frontier bitmap before
+        paying the scattered source-metadata read and the Compute evaluation,
+        so only the active share costs the full per-edge work.
+        """
         if num_vertices == 0:
             return WorkEstimate()
 
@@ -425,14 +656,20 @@ class SIMDXEngine:
                 sortedness=sortedness,
                 weighted=algorithm.uses_weights,
             )
+            compute_ops = effective_edges * 4.0 + num_vertices * 2.0
         else:
+            active_edges = effective_edges * min(1.0, max(0.0, active_fraction))
             traffic = gmem.pull_expansion_traffic(
                 num_vertices,
                 int(effective_edges),
                 weighted=algorithm.uses_weights,
+                active_edges=int(active_edges),
             )
-
-        compute_ops = effective_edges * 4.0 + num_vertices * 2.0
+            # One bitmap test per scanned in-edge; the full Compute only for
+            # contributing (frontier-sourced) edges.
+            compute_ops = (
+                effective_edges * 1.0 + active_edges * 4.0 + num_vertices * 2.0
+            )
 
         if stage == "thread":
             divergence = divergence_fraction(degrees)
@@ -455,13 +692,22 @@ class SIMDXEngine:
     def _charge_compute(
         self,
         classified: ClassifiedFrontier,
+        classifier: WorklistClassifier,
         direction: Direction,
         sortedness: float,
         algorithm: ACCAlgorithm,
         *,
         atomic_profile=None,
-    ) -> Tuple[float, float]:
-        """Charge the three compute kernels; returns (busy_us, launch_us)."""
+        active_edge_fraction: float = 1.0,
+    ) -> Tuple[float, float, Tuple[Kernel, bool]]:
+        """Charge the three compute kernels.
+
+        Returns ``(busy_us, launch_us, task_kernel)`` where ``task_kernel``
+        is the ``(kernel, fused)`` slot the same phase reserves for task
+        management; the caller hands it to :meth:`_charge_filter` so the
+        filter launch shares the phase's fusion state without any
+        cross-iteration instance state.
+        """
         device = self.device
         plan = self.fusion_plan
         phase = plan.phase_kernels(direction)
@@ -470,7 +716,7 @@ class SIMDXEngine:
             phase.continuation_kernels
         )
 
-        deg = self.classifier.degrees_of
+        deg = classifier.degrees_of
         stage_specs = [
             ("thread", classified.small, classified.sizes.small_edges),
             ("warp", classified.medium, classified.sizes.medium_edges),
@@ -490,6 +736,7 @@ class SIMDXEngine:
                 direction,
                 sortedness,
                 algorithm,
+                active_fraction=active_edge_fraction,
             )
             if atomic_profile is not None and atomic_profile.num_ops:
                 # Gunrock-style pricing: updates are applied with atomics on
@@ -520,17 +767,15 @@ class SIMDXEngine:
             )
             busy_us += result.busy_us
             launch_us += result.launch_overhead_us
-        # Remember the task-management kernel slot for _charge_filter.
-        self._pending_filter_kernel = (kernels[3], fused_flags[3])
-        return busy_us, launch_us
+        return busy_us, launch_us, (kernels[3], fused_flags[3])
 
-    def _charge_filter(self, filter_result: FilterResult, direction: Direction) -> float:
-        kernel, fused = getattr(
-            self, "_pending_filter_kernel",
-            (self.fusion_plan.kernel(
-                "push_task_mgt" if direction is Direction.PUSH else "pull_task_mgt"
-            ), False),
-        )
+    def _charge_filter(
+        self,
+        filter_result: FilterResult,
+        direction: Direction,
+        task_kernel: Tuple[Kernel, bool],
+    ) -> float:
+        kernel, fused = task_kernel
         result = self.device.launch(
             KernelLaunch(
                 kernel=kernel,

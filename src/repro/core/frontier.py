@@ -1,11 +1,17 @@
 """Worklists, degree classification and per-thread bins (Section 4, step I/II).
 
 SIMD-X splits the active vertices of an iteration into three worklists by
-out-degree so that each is processed at a matching thread granularity:
+degree so that each is processed at a matching thread granularity:
 
 * ``small_list``  -- low-degree vertices, one *thread* each;
 * ``med_list``    -- medium-degree vertices, one *warp* (32 threads) each;
 * ``large_list``  -- high-degree vertices, one *CTA* (256 threads) each.
+
+The degree that matters depends on the execution direction: a push (scatter)
+iteration expands the *out*-edges of its worklist, a pull (gather) iteration
+walks the *in*-edges of its worklist, so the classifier is built per
+direction (:class:`~repro.core.direction.Direction`) and the engine keeps
+one instance for each.
 
 The separators default to the warp size (32) and the CTA compute size (256);
 the paper reports performance is flat for the small/medium separator in
@@ -26,6 +32,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.direction import Direction
 from repro.graph.csr import CSRGraph
 
 #: Default worklist separators (paper Section 4, "Classification of small,
@@ -82,7 +89,15 @@ class ClassifiedFrontier:
 
 
 class WorklistClassifier:
-    """Splits a frontier into small/medium/large worklists by out-degree."""
+    """Splits a worklist into small/medium/large lists by degree.
+
+    ``direction`` selects which degree the classification (and the per-list
+    edge totals) use: :attr:`Direction.PUSH` classifies by out-degree (the
+    worklist is a scatter frontier), :attr:`Direction.PULL` by in-degree
+    (the worklist is a gather list of destinations). The legacy
+    ``use_out_degrees`` flag is kept as an alias; ``direction`` wins when
+    both are given.
+    """
 
     def __init__(
         self,
@@ -91,15 +106,22 @@ class WorklistClassifier:
         small_medium_separator: int = DEFAULT_SMALL_MEDIUM_SEPARATOR,
         medium_large_separator: int = DEFAULT_MEDIUM_LARGE_SEPARATOR,
         use_out_degrees: bool = True,
+        direction: Optional[Direction] = None,
     ):
         if small_medium_separator <= 0:
             raise ValueError("small/medium separator must be positive")
         if medium_large_separator < small_medium_separator:
             raise ValueError("medium/large separator must be >= small/medium separator")
+        if direction is None:
+            direction = Direction.PUSH if use_out_degrees else Direction.PULL
         self.graph = graph
+        self.direction = direction
         self.small_medium_separator = small_medium_separator
         self.medium_large_separator = medium_large_separator
-        degrees = graph.out_degrees() if use_out_degrees else graph.in_degrees()
+        degrees = (
+            graph.out_degrees() if direction is Direction.PUSH
+            else graph.in_degrees()
+        )
         self._degrees = degrees
 
     def classify(self, frontier: np.ndarray) -> ClassifiedFrontier:
@@ -128,8 +150,20 @@ class WorklistClassifier:
         return ClassifiedFrontier(small=small, medium=medium, large=large, sizes=sizes)
 
     def degrees_of(self, frontier: np.ndarray) -> np.ndarray:
-        """Out-degree of each frontier vertex (used for divergence modelling)."""
+        """Directional degree of each worklist vertex (divergence modelling)."""
         return self._degrees[np.asarray(frontier, dtype=np.int64)]
+
+    def edge_count(self, frontier: np.ndarray) -> int:
+        """Total directional degree of ``frontier`` without classifying it.
+
+        The engine uses the push classifier's count as the Beamer-style
+        frontier-share estimate that drives direction selection, before any
+        worklist is materialized.
+        """
+        frontier = np.asarray(frontier, dtype=np.int64)
+        if frontier.size == 0:
+            return 0
+        return int(self._degrees[frontier].sum())
 
 
 @dataclass

@@ -17,7 +17,14 @@ import numpy as np
 
 @dataclass
 class IterationRecord:
-    """One BSP iteration of a run."""
+    """One BSP iteration of a run.
+
+    ``frontier_vertices`` is always the size of the active (push) frontier;
+    ``frontier_edges`` counts the edges of the worklist the executed
+    ``direction`` actually walked - the frontier's out-edges in push mode,
+    the gather worklist's scanned in-edges in pull mode (which can span most
+    of the graph, so their ratio is not a frontier degree in pull phases).
+    """
 
     iteration: int
     direction: str

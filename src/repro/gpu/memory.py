@@ -157,16 +157,22 @@ def pull_expansion_traffic(
     total_edges_expanded: int,
     *,
     weighted: bool = True,
+    active_edges: Optional[int] = None,
 ) -> FrontierTraffic:
     """Traffic of a pull-style pass over destination vertices.
 
     Pull mode walks destinations sequentially (their in-neighbour lists are
     contiguous) but reads the *source* metadata of each in-edge, which
-    scatters.
+    scatters. The gather consults the frontier bitmap per in-edge first and
+    skips the expensive scattered source read when the source is inactive,
+    so only ``active_edges`` (in-edges whose source is in the frontier;
+    defaults to all of them) pay the scattered transaction.
     """
+    if active_edges is None:
+        active_edges = total_edges_expanded
     coalesced = (
         sequential_bytes(num_destination_vertices, OFFSET_BYTES + METADATA_BYTES)
         + adjacency_read_bytes(total_edges_expanded, weighted=weighted)
     )
-    scattered = metadata_scatter_transactions(total_edges_expanded)
+    scattered = metadata_scatter_transactions(active_edges)
     return FrontierTraffic(coalesced, scattered)

@@ -3,7 +3,11 @@
 SIMD-X stores graphs in CSR format (Section 6, "Storage Format"): for
 undirected graphs only the out-neighbour lists are stored, for directed
 graphs both out- and in-neighbour CSR structures are kept so that push and
-pull based processing are both possible.
+pull based processing are both possible. The in-neighbour structure of a
+directed graph is the transpose of the out-neighbour structure; building it
+costs a full sort of the edge set, so :class:`CSRGraph` constructs it
+*lazily* on first access (and caches it) - a run that never executes a pull
+iteration never pays for the transpose.
 
 The representation here follows the paper's conventions:
 
@@ -19,7 +23,7 @@ graph data resident in GPU global memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,9 +100,28 @@ def _build_csr(
     )
 
 
-@dataclass
+def transpose_csr(view: CSRView) -> CSRView:
+    """Reverse (in-neighbour) CSR of ``view``.
+
+    Row ``v`` of the result lists the vertices with an edge *into* ``v``,
+    with the original edge weights. The construction sorts the edge set by
+    (old target, old source), so transposing twice round-trips exactly and
+    the per-row neighbour order is ascending - the property the engine's
+    pull path relies on for bit-identical combines.
+    """
+    sources = np.repeat(
+        np.arange(view.num_vertices, dtype=np.int64), view.degrees()
+    )
+    return _build_csr(
+        view.num_vertices,
+        view.targets.astype(np.int64),
+        sources,
+        view.weights,
+    )
+
+
 class CSRGraph:
-    """A CSR graph with optional reverse (in-neighbour) structure.
+    """A CSR graph with a lazily-built reverse (in-neighbour) structure.
 
     Parameters
     ----------
@@ -106,18 +129,43 @@ class CSRGraph:
         Out-neighbour CSR view (push direction).
     in_csr:
         In-neighbour CSR view (pull direction). For undirected graphs this is
-        the same object as ``out_csr``.
+        the same object as ``out_csr``; for directed graphs it may be omitted
+        (``None``), in which case the transpose of ``out_csr`` is built on
+        first access to :attr:`in_csr` and cached.
     directed:
         Whether the graph was constructed from directed edges.
     name:
         Optional human-readable name (dataset abbreviation).
     """
 
-    out_csr: CSRView
-    in_csr: CSRView
-    directed: bool
-    name: str = ""
-    meta: dict = field(default_factory=dict)
+    def __init__(
+        self,
+        out_csr: CSRView,
+        in_csr: Optional[CSRView] = None,
+        directed: bool = False,
+        name: str = "",
+        meta: Optional[dict] = None,
+    ):
+        self.out_csr = out_csr
+        self.directed = directed
+        self.name = name
+        self.meta = {} if meta is None else meta
+        self._in_csr = in_csr
+
+    @property
+    def in_csr(self) -> CSRView:
+        """In-neighbour CSR view (transpose), built lazily and cached."""
+        if self._in_csr is None:
+            if self.directed:
+                self._in_csr = transpose_csr(self.out_csr)
+            else:
+                self._in_csr = self.out_csr
+        return self._in_csr
+
+    @property
+    def in_csr_built(self) -> bool:
+        """Whether the in-neighbour view exists without forcing its build."""
+        return self._in_csr is not None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -182,10 +230,9 @@ class CSRGraph:
             src, dst, w = _dedup_edges(num_vertices, src, dst, w)
 
         out_csr = _build_csr(num_vertices, src, dst, w)
-        if directed:
-            in_csr = _build_csr(num_vertices, dst, src, w)
-        else:
-            in_csr = out_csr
+        # Directed graphs leave the in-CSR unset: the transpose is built
+        # lazily on first pull-direction access (see the in_csr property).
+        in_csr = None if directed else out_csr
         return cls(out_csr=out_csr, in_csr=in_csr, directed=directed, name=name)
 
     @classmethod
@@ -250,15 +297,18 @@ class CSRGraph:
         """Bytes needed to hold the CSR structures as the paper lays them out.
 
         ``uint64`` offsets, ``uint32`` neighbour ids and ``float32`` weights;
-        directed graphs hold both directions.
+        directed graphs hold both directions. The transpose has exactly the
+        shape of the out-view, so the footprint is computed without forcing
+        the lazy in-CSR build.
         """
-        views = [self.out_csr] if not self.directed else [self.out_csr, self.in_csr]
-        total = 0
-        for view in views:
-            total += view.offsets.shape[0] * 8
-            total += view.targets.shape[0] * 4
-            total += view.weights.shape[0] * 4
-        return total
+        directions = 2 if self.directed else 1
+        view = self.out_csr
+        per_direction = (
+            view.offsets.shape[0] * 8
+            + view.targets.shape[0] * 4
+            + view.weights.shape[0] * 4
+        )
+        return directions * per_direction
 
     def edge_list_bytes(self) -> int:
         """Bytes for an edge-list (COO) copy: (src, dst, weight) per edge.

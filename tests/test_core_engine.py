@@ -186,6 +186,56 @@ class TestFusionBehaviourInEngine:
         assert switches <= 3
 
 
+class TestConfigRegressions:
+    def test_max_iterations_zero_is_respected(self, rmat_graph):
+        """``max_iterations=0`` means zero iterations, not "unset"."""
+        config = EngineConfig(max_iterations=0)
+        result = SIMDXEngine(rmat_graph, config=config).run(BFS(source=0))
+        assert not result.failed
+        assert result.iterations == 0
+        assert result.iteration_records == []
+        # Only the source was initialized; nothing was expanded.
+        assert result.values[0] == 0
+        assert np.all(result.values[1:] == -1)
+
+    def test_max_iterations_cap_applies(self, rmat_graph):
+        config = EngineConfig(max_iterations=2)
+        result = SIMDXEngine(rmat_graph, config=config).run(BFS(source=0))
+        assert result.iterations <= 2
+
+    def test_engine_is_reentrant(self, rmat_graph):
+        """Two runs on one engine match a fresh engine's run exactly (no
+        state - fusion residency, task-kernel slot - leaks across runs)."""
+        src = int(np.argmax(rmat_graph.out_degrees()))
+        engine = SIMDXEngine(rmat_graph)
+        first = engine.run(BFS(source=src))
+        second = engine.run(BFS(source=src))
+        fresh = SIMDXEngine(rmat_graph).run(BFS(source=src))
+        assert np.array_equal(first.values, second.values)
+        assert second.elapsed_us == pytest.approx(fresh.elapsed_us)
+        assert second.kernel_launches == fresh.kernel_launches
+        assert second.filter_trace == fresh.filter_trace
+
+    def test_conflicting_direction_config_rejected(self):
+        from repro.core.direction import Direction
+
+        with pytest.raises(ValueError):
+            EngineConfig(direction_auto=True, forced_direction=Direction.PULL)
+
+    def test_manual_direction_keeps_selector_consistent(self, rmat_graph):
+        """Pinning the direction goes through the selector's state machine,
+        so switch counts and phase lengths stay truthful."""
+        from repro.core.direction import Direction
+
+        for direction in Direction:
+            config = EngineConfig(
+                direction_auto=False, forced_direction=direction
+            )
+            result = SIMDXEngine(rmat_graph, config=config).run(BFS(source=0))
+            assert set(result.direction_trace) == {direction.value}
+            assert result.extra["direction_switches"] == 0
+
+
 class TestMemoryFailureModes:
     def test_oom_on_graph_larger_than_device(self, rmat_graph):
         rmat_graph.meta["paper_vertices"] = 10**9

@@ -76,6 +76,33 @@ class TestWorklistClassifier:
         degs = classifier.degrees_of(np.array([0, 1]))
         assert degs[0] == 200 and degs[1] == 1
 
+    def test_edge_count_matches_degree_sum(self, rmat_graph):
+        classifier = WorklistClassifier(rmat_graph)
+        frontier = np.arange(0, rmat_graph.num_vertices, 2)
+        assert classifier.edge_count(frontier) == int(
+            rmat_graph.out_degrees()[frontier].sum()
+        )
+        assert classifier.edge_count(np.zeros(0, dtype=np.int64)) == 0
+
+    def test_pull_direction_classifies_by_in_degree(self, directed_graph):
+        from repro.core.direction import Direction
+
+        push = WorklistClassifier(directed_graph, direction=Direction.PUSH)
+        pull = WorklistClassifier(directed_graph, direction=Direction.PULL)
+        everything = np.arange(directed_graph.num_vertices)
+        assert np.array_equal(
+            push.degrees_of(everything), directed_graph.out_degrees()
+        )
+        assert np.array_equal(
+            pull.degrees_of(everything), directed_graph.in_degrees()
+        )
+        assert pull.classify(everything).total_edges == int(
+            directed_graph.in_degrees().sum()
+        )
+        # The legacy flag still works and maps onto the direction modes.
+        legacy = WorklistClassifier(directed_graph, use_out_degrees=False)
+        assert legacy.direction is Direction.PULL
+
     def test_threads_for_frontier(self, star_graph):
         classifier = WorklistClassifier(star_graph)
         classified = classifier.classify(np.arange(star_graph.num_vertices))

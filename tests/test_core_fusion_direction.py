@@ -163,3 +163,22 @@ class TestDirectionSelector:
     def test_phase_lengths_empty_history(self):
         sel = DirectionSelector(total_edges=10)
         assert sel.phase_lengths() == []
+
+    def test_force_records_history_and_current(self):
+        sel = DirectionSelector(total_edges=1000)
+        assert sel.force(Direction.PULL) is Direction.PULL
+        assert sel.current is Direction.PULL
+        assert sel.force(Direction.PULL) is Direction.PULL
+        assert sel.force(Direction.PUSH) is Direction.PUSH
+        assert sel.history == [Direction.PULL, Direction.PULL, Direction.PUSH]
+        assert sel.switches() == 1
+        assert sel.phase_lengths() == [2, 1]
+
+    def test_force_then_decide_uses_forced_state(self):
+        sel = DirectionSelector(total_edges=1000)
+        sel.force(Direction.PULL)
+        # Hysteresis continues from the forced direction: a mid-band share
+        # keeps pull, a tiny share switches back to push.
+        assert sel.decide(30) is Direction.PULL
+        assert sel.decide(5) is Direction.PUSH
+        assert sel.switches() == 1

@@ -32,6 +32,33 @@ class TestConstruction:
         g = CSRGraph.from_edges(4, [(0, 1), (1, 2)], weights=[1, 1])
         assert g.in_csr is g.out_csr
 
+    def test_directed_in_csr_is_lazy_and_cached(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2)], weights=[1, 1], directed=True)
+        assert not g.in_csr_built
+        first = g.in_csr  # forces the transpose build
+        assert g.in_csr_built
+        assert g.in_csr is first  # cached, not rebuilt
+
+    def test_lazy_transpose_matches_explicit_reverse_build(self, directed_graph):
+        from repro.graph.csr import transpose_csr
+
+        rev = transpose_csr(directed_graph.out_csr)
+        lazy = directed_graph.in_csr
+        assert np.array_equal(lazy.offsets, rev.offsets)
+        assert np.array_equal(lazy.targets, rev.targets)
+        assert np.array_equal(lazy.weights, rev.weights)
+        # Transposing twice round-trips to the out-CSR exactly.
+        back = transpose_csr(lazy)
+        assert np.array_equal(back.offsets, directed_graph.out_csr.offsets)
+        assert np.array_equal(back.targets, directed_graph.out_csr.targets)
+        assert np.array_equal(back.weights, directed_graph.out_csr.weights)
+
+    def test_csr_bytes_does_not_force_transpose(self):
+        g = CSRGraph.from_edges(4, [(0, 1), (1, 2)], weights=[1, 1], directed=True)
+        expected = 2 * ((4 + 1) * 8 + 2 * 4 + 2 * 4)
+        assert g.csr_bytes() == expected
+        assert not g.in_csr_built
+
     def test_self_loops_removed_by_default(self):
         g = CSRGraph.from_edges(3, [(0, 0), (0, 1)], weights=[1, 1])
         assert g.num_edges == 2
