@@ -54,7 +54,7 @@ class BFS(ACCAlgorithm):
     def apply(self, old, combined, touched):
         return np.minimum(old, combined)
 
-    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+    def gather_mask(self, metadata, graph, frontier=None):
         # Bottom-up (Beamer-style) BFS: only unvisited vertices gather. A
         # visited vertex's level is final - every later offer is larger - so
         # skipping it drops only edges whose update would be NaN anyway.

@@ -67,7 +67,7 @@ class KCore(ACCAlgorithm):
     def apply(self, old, combined, touched):
         return np.maximum(old - combined, 0.0)
 
-    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+    def gather_mask(self, metadata, graph, frontier=None):
         # Pull iterations gather only at vertices still in the core: compute
         # sends no decrement to a vertex already below k (the paper's
         # stop-subtracting guard), so deleted vertices have nothing to

@@ -22,6 +22,10 @@ Direction is orthogonal to the schedule: a pull iteration gathers the same
 the pending-set bookkeeping (``on_frontier_expanded`` clears the frontier's
 outstanding improvements, ``apply`` re-marks improved destinations) behaves
 identically whether the frontier scattered or the destinations gathered.
+``gather_mask`` additionally prunes settled vertices from the gather
+worklist with a frontier-dependent bound: no destination at or below
+``min(dist over frontier) + min(edge weight)`` can receive an improving
+offer this iteration.
 """
 
 from __future__ import annotations
@@ -50,6 +54,7 @@ class SSSP(ACCAlgorithm):
         self.delta = delta
         self._bucket_limit = np.inf
         self._pending: np.ndarray | None = None
+        self._min_weight = 0.0
 
     def init(self, graph: CSRGraph, *, source: int | None = None) -> InitialState:
         src = self.source if source is None else source
@@ -60,6 +65,8 @@ class SSSP(ACCAlgorithm):
         self._bucket_limit = self.delta if self.delta is not None else np.inf
         self._pending = np.zeros(graph.num_vertices, dtype=bool)
         self._pending[src] = True
+        weights = graph.out_csr.weights
+        self._min_weight = float(weights.min()) if weights.size else 0.0
         return InitialState(metadata=metadata, frontier=np.array([src], dtype=np.int64))
 
     def active_mask(self, curr: np.ndarray, prev: np.ndarray) -> np.ndarray:
@@ -90,6 +97,19 @@ class SSSP(ACCAlgorithm):
             improved = touched[new < old]
             self._pending[improved] = True
         return new
+
+    def gather_mask(self, metadata, graph, frontier=None):
+        if frontier is None or frontier.size == 0:
+            return np.ones(metadata.shape[0], dtype=bool)
+        # Frontier-dependent settled-vertex pruning: every offer this
+        # iteration is dist(v) + w with v in the frontier, so no destination
+        # at or below min(dist over frontier) + min(edge weight) can improve
+        # - it is settled relative to this frontier. (With the repository's
+        # positive weights this skips the whole shortest-path tree built so
+        # far; using the graph's true minimum weight keeps the bound safe
+        # for zero or negative weights too.)
+        bound = float(np.min(metadata[frontier])) + self._min_weight
+        return metadata > bound
 
     def converged(self, curr, prev, iteration) -> bool:
         # With delta-stepping the in-bucket worklist can drain while

@@ -15,7 +15,10 @@ symmetric closure emerges over iterations as labels flow both ways along
 each stored direction (for directed inputs, both the out- and in-CSR views
 contain each edge once, and running on the undirected datasets the question
 does not arise). Because push and pull walk the identical edge set, the
-labels converge identically in either direction.
+labels converge identically in either direction. In pull mode,
+``gather_mask`` prunes destinations whose label already sits at or below
+the frontier's minimum label - they cannot shrink this iteration - which
+skips the converged body of each component late in the propagation.
 """
 
 from __future__ import annotations
@@ -49,6 +52,17 @@ class WCC(ACCAlgorithm):
 
     def apply(self, old, combined, touched):
         return np.minimum(old, combined)
+
+    def gather_mask(self, metadata, graph, frontier=None):
+        if frontier is None or frontier.size == 0:
+            return np.ones(metadata.shape[0], dtype=bool)
+        # Frontier-dependent settled-vertex pruning: an edge only offers its
+        # source's label when that label is smaller, and only frontier
+        # sources offer anything this iteration - so a destination whose
+        # label is already at or below the frontier's minimum label cannot
+        # shrink. Late in the propagation this skips the (large) converged
+        # body of each component.
+        return metadata > float(np.min(metadata[frontier]))
 
     def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
         """Component labels as int64 (the smallest vertex id reached)."""

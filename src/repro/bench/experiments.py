@@ -4,7 +4,9 @@ Every function takes a :class:`~repro.bench.harness.BenchmarkContext` (which
 controls the dataset scale and selection) and returns plain dictionaries /
 lists of rows so that the pytest benchmarks, the reporting module and the
 examples can all consume them. EXPERIMENTS.md records the observed outputs
-next to the paper's numbers.
+next to the paper's numbers; running ``python -m repro.bench.experiments``
+regenerates it from :func:`phase_timings` (the per-algorithm, per-phase
+timing baseline plus the traffic-model calibration).
 """
 
 from __future__ import annotations
@@ -14,12 +16,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.algorithms import ALGORITHMS
 from repro.bench.harness import (
     BenchmarkContext,
     TABLE4_ALGORITHMS,
     make_algorithm,
     run_simdx,
 )
+from repro.core import metrics as core_metrics
+from repro.core.direction import DEFAULT_TRAFFIC_MODEL, Direction
 from repro.core.engine import EngineConfig
 from repro.core.filters import FilterMode
 from repro.core.fusion import FusionPlan, FusionStrategy, REGISTERS_TABLE
@@ -490,3 +495,217 @@ def worklist_separators(
             times.append(result.elapsed_us)
         ml_rows.append({"separator": sep, "mean_ms": float(np.mean(times)) / 1000.0})
     return {"small_medium": sm_rows, "medium_large": ml_rows}
+
+
+# ----------------------------------------------------------------------
+# EXPERIMENTS.md baseline: per-phase timings + traffic-model calibration
+# ----------------------------------------------------------------------
+ALL_ALGORITHMS = ("bfs", "sssp", "pagerank", "wcc", "kcore", "spmv", "bp")
+
+_FORCED_PUSH = EngineConfig(direction_auto=False, forced_direction=Direction.PUSH)
+_FORCED_PULL = EngineConfig(direction_auto=False, forced_direction=Direction.PULL)
+
+
+def phase_timings(
+    ctx: BenchmarkContext,
+    algorithms: Sequence[str] = ALL_ALGORITHMS,
+    graphs: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Per-algorithm, per-phase timing baselines + traffic-model calibration.
+
+    For each (algorithm, graph) cell this runs the default auto-direction
+    configuration and folds its iteration trace into consecutive push/pull
+    phases (``repro.core.metrics.phase_timings``), then runs forced-push and
+    forced-pull configurations and fits the pull traffic-model constants
+    back out of the measured timings
+    (``repro.core.metrics.calibrate_pull_constants``). The fitted ratio
+    ``pull_scan_over_push_edge`` is directly comparable to the shipped
+    ``TrafficModel.pull_scan_ops / push_edge_ops``; for voting combines the
+    gather terminates early, so their fitted scan cost also reflects
+    ``voting_pull_scan_fraction``.
+    """
+    graphs = list(graphs) if graphs is not None else list(ctx.datasets)
+    phase_rows: List[Dict] = []
+    trace_rows: List[Dict] = []
+    per_algorithm_fit: Dict[str, Dict[str, float]] = {}
+    pooled_records: Dict[str, Dict[str, List]] = {
+        "aggregation": {"push": [], "pull": []},
+        "voting": {"push": [], "pull": []},
+    }
+
+    for algorithm_name in algorithms:
+        push_records: List = []
+        pull_records: List = []
+        for abbrev in graphs:
+            auto = ctx.run("simdx", abbrev, algorithm_name)
+            if auto.failed:
+                continue
+            for index, phase in enumerate(
+                core_metrics.phase_timings(auto.iteration_records)
+            ):
+                phase_rows.append(
+                    {
+                        "algorithm": algorithm_name,
+                        "graph": abbrev,
+                        "phase": index,
+                        "direction": phase.direction,
+                        "iterations": phase.iterations,
+                        "edges": phase.frontier_edges,
+                        "active_edges": phase.active_edges,
+                        "compute_us": phase.compute_us,
+                        "filter_us": phase.filter_us,
+                        "total_us": phase.total_us,
+                        "us_per_edge": phase.compute_us_per_edge,
+                    }
+                )
+            trace_rows.append(_direction_filter_row(auto, algorithm_name, abbrev))
+
+            push = ctx.run("simdx", abbrev, algorithm_name, config=_FORCED_PUSH)
+            pull = ctx.run("simdx", abbrev, algorithm_name, config=_FORCED_PULL)
+            if not push.failed:
+                push_records.extend(push.iteration_records)
+            if not pull.failed:
+                pull_records.extend(pull.iteration_records)
+
+        if push_records and pull_records:
+            fit = core_metrics.calibrate_pull_constants(push_records, pull_records)
+            per_algorithm_fit[algorithm_name] = fit
+            kind = ALGORITHMS[algorithm_name].combine_kind.value
+            pooled_records[kind]["push"].extend(push_records)
+            pooled_records[kind]["pull"].extend(pull_records)
+
+    pooled_fit = {
+        kind: core_metrics.calibrate_pull_constants(pool["push"], pool["pull"])
+        for kind, pool in pooled_records.items()
+        if pool["push"] and pool["pull"]
+    }
+    model = DEFAULT_TRAFFIC_MODEL
+    return {
+        "phase_rows": phase_rows,
+        "trace_rows": trace_rows,
+        "calibration": {
+            "per_algorithm": per_algorithm_fit,
+            "pooled": pooled_fit,
+            "shipped": {
+                "push_edge_ops": model.push_edge_ops,
+                "pull_scan_ops": model.pull_scan_ops,
+                "pull_active_edge_ops": model.pull_active_edge_ops,
+                "vertex_ops": model.vertex_ops,
+                "voting_pull_scan_fraction": model.voting_pull_scan_fraction,
+                "pull_scan_over_push_edge": model.pull_scan_ops / model.push_edge_ops,
+            },
+        },
+    }
+
+
+def _direction_filter_row(result: RunResult, algorithm_name: str, abbrev: str) -> Dict:
+    """Direction-aware JIT fidelity of one run (Figure 8 with directions)."""
+    pairs = list(zip(result.direction_trace, result.filter_trace))
+    pre_armed = len(result.extra.get("jit_pre_armed_iterations", []))
+    return {
+        "algorithm": algorithm_name,
+        "graph": abbrev,
+        "iterations": result.iterations,
+        "pull_iterations": result.direction_trace.count("pull"),
+        "pull_ballot_iterations": sum(
+            1 for d, f in pairs if d == "pull" and f == "ballot"
+        ),
+        "pre_armed_ballots": pre_armed,
+        "pattern": _segments(result.filter_trace),
+        "direction_pattern": _segments(result.direction_trace),
+    }
+
+
+def gather_refinement(
+    ctx: BenchmarkContext,
+    graphs: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Effect of frontier-dependent gather-candidate pruning (SSSP / WCC).
+
+    Runs each algorithm forced-pull twice - once as shipped, once with the
+    frontier-dependent bound disabled - and compares the total scanned
+    in-edges. Values must be bit-identical; the scanned-edge shrink is the
+    benefit of pruning settled vertices from the gather worklist.
+    """
+    from repro.algorithms.sssp import SSSP
+    from repro.algorithms.wcc import WCC
+
+    class _UnprunedSSSP(SSSP):
+        def gather_mask(self, metadata, graph, frontier=None):
+            return super().gather_mask(metadata, graph, None)
+
+    class _UnprunedWCC(WCC):
+        def gather_mask(self, metadata, graph, frontier=None):
+            return super().gather_mask(metadata, graph, None)
+
+    from repro.bench.harness import default_source
+
+    graphs = list(graphs) if graphs is not None else list(ctx.datasets)
+    rows = []
+    for algorithm_name, pruned_cls, unpruned_cls in (
+        ("sssp", SSSP, _UnprunedSSSP),
+        ("wcc", WCC, _UnprunedWCC),
+    ):
+        for abbrev in graphs:
+            graph = ctx.graph(abbrev)
+            kwargs = (
+                {"source": default_source(graph)} if algorithm_name == "sssp" else {}
+            )
+            pruned = run_simdx(graph, pruned_cls(**kwargs), config=_FORCED_PULL)
+            unpruned = run_simdx(graph, unpruned_cls(**kwargs), config=_FORCED_PULL)
+            if pruned.failed or unpruned.failed:
+                continue
+            identical = bool(np.array_equal(pruned.values, unpruned.values))
+            scanned_pruned = sum(r.frontier_edges for r in pruned.iteration_records)
+            scanned_unpruned = sum(
+                r.frontier_edges for r in unpruned.iteration_records
+            )
+            rows.append(
+                {
+                    "algorithm": algorithm_name,
+                    "graph": abbrev,
+                    "scanned_edges_pruned": scanned_pruned,
+                    "scanned_edges_unpruned": scanned_unpruned,
+                    "shrink_percent": (
+                        100.0 * (1.0 - scanned_pruned / scanned_unpruned)
+                        if scanned_unpruned else 0.0
+                    ),
+                    "elapsed_ms_pruned": pruned.elapsed_ms,
+                    "elapsed_ms_unpruned": unpruned.elapsed_ms,
+                    "values_identical": identical,
+                }
+            )
+    return {"rows": rows}
+
+
+def generate_experiments_md(
+    path: str = "EXPERIMENTS.md",
+    *,
+    scale: float = 0.5,
+    datasets: Sequence[str] = ("LJ", "TW", "ER", "RC"),
+) -> str:
+    """Run the baseline experiments and write EXPERIMENTS.md.
+
+    The default configuration keeps the run small (two skewed + two
+    high-diameter graphs at half scale) so regeneration stays cheap; the
+    committed file is the baseline future PRs diff against.
+    """
+    from repro.bench.reporting import render_experiments_md
+
+    ctx = BenchmarkContext(scale=scale, datasets=tuple(datasets))
+    timings = phase_timings(ctx)
+    refinement = gather_refinement(ctx)
+    text = render_experiments_md(
+        timings, refinement, scale=scale, datasets=datasets
+    )
+    with open(path, "w") as handle:
+        handle.write(text)
+    return text
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    import sys
+
+    target = sys.argv[1] if len(sys.argv) > 1 else "EXPERIMENTS.md"
+    generate_experiments_md(target)
+    print(f"wrote {target}")

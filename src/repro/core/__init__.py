@@ -18,25 +18,33 @@ This subpackage is the paper's primary contribution:
 """
 
 from repro.core.acc import ACCAlgorithm, CombineKind, CombineOp
-from repro.core.direction import Direction, DirectionSelector
+from repro.core.direction import (
+    DEFAULT_TRAFFIC_MODEL,
+    Direction,
+    DirectionSelector,
+    TrafficModel,
+)
 from repro.core.engine import EngineConfig, SIMDXEngine, RunResult
 from repro.core.filters import FilterMode
 from repro.core.frontier import WorklistClassifier, WorklistSizes
 from repro.core.fusion import FusionStrategy
-from repro.core.jit import JITTaskManager
+from repro.core.jit import JITDecision, JITTaskManager
 
 __all__ = [
     "ACCAlgorithm",
     "CombineKind",
     "CombineOp",
+    "DEFAULT_TRAFFIC_MODEL",
     "Direction",
     "DirectionSelector",
     "EngineConfig",
     "SIMDXEngine",
     "RunResult",
     "FilterMode",
+    "TrafficModel",
     "WorklistClassifier",
     "WorklistSizes",
     "FusionStrategy",
+    "JITDecision",
     "JITTaskManager",
 ]

@@ -236,7 +236,12 @@ class ACCAlgorithm(abc.ABC):
         """
         return self.compute_edges(src_meta, weights, dst_meta, src_ids, dst_ids, graph)
 
-    def gather_mask(self, metadata: np.ndarray, graph: CSRGraph) -> np.ndarray:
+    def gather_mask(
+        self,
+        metadata: np.ndarray,
+        graph: CSRGraph,
+        frontier: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Boolean mask of vertices worth gathering at in a pull iteration.
 
         The engine gathers at every masked vertex that has at least one
@@ -244,11 +249,22 @@ class ACCAlgorithm(abc.ABC):
         whose ``compute`` provably yields no update for some destinations
         (BFS's already-visited vertices, k-Core's deleted ones) override it
         to shrink the gather worklist, the way Beamer's bottom-up BFS skips
-        visited vertices. An override must never exclude a destination that
-        could still receive a valid (non-``no_update``) offer, and
-        algorithms that also override :meth:`on_frontier_expanded` should
-        keep the default mask so the hook fires under identical conditions
-        in both directions.
+        visited vertices.
+
+        ``frontier`` is the iteration's active frontier: only its vertices
+        source updates this iteration, so an override may use
+        frontier-dependent bounds as well (SSSP prunes destinations whose
+        distance is already at or below the best possible frontier offer,
+        WCC prunes labels at or below the frontier's minimum). The engine
+        always passes the frontier; ``None`` (direct calls) must degrade to
+        a frontier-independent mask.
+
+        An override must never exclude a destination that could still
+        receive a valid (non-``no_update``) offer from a frontier source.
+        Overriding this together with :meth:`on_frontier_expanded` is safe:
+        the engine fires the hook whenever the frontier had out-edges to
+        consume, regardless of how far the mask shrank the gather worklist,
+        so the hook's firing condition stays identical in both directions.
         """
         return np.ones(metadata.shape[0], dtype=bool)
 

@@ -1,4 +1,4 @@
-"""Push / pull direction selection.
+"""Push / pull direction selection and the per-direction traffic model.
 
 Graph algorithms on SIMD-X run each iteration either in *push* mode (expand
 the out-edges of the active frontier and scatter updates to destinations) or
@@ -7,13 +7,27 @@ Section 5 observes that consecutive iterations cluster into push and pull
 phases - BFS/SSSP push at the beginning and end and pull in the middle, when
 the frontier covers most of the graph; k-Core pulls first and pushes at the
 end; PageRank pulls until most ranks are stable and then pushes. Push-pull
-kernel fusion exploits exactly this clustering.
+kernel fusion exploits exactly this clustering, and the JIT task manager
+(:mod:`repro.core.jit`) keys its filter choice off the same signal: a gather
+worker records at most one destination, so pull phases always run the online
+filter and the ballot filter is pre-armed only at the pull->push boundary.
 
-The :class:`DirectionSelector` reproduces the behaviour with the classic
-direction-optimizing heuristic (Beamer et al.): switch to pull when the
-frontier's outgoing edges exceed a fraction of all edges, switch back to push
-when the frontier shrinks again. Algorithms that inherently start in pull
-mode set ``starts_in_pull`` on their ACC spec.
+Two pieces live here:
+
+* :class:`DirectionSelector` reproduces the switching behaviour with the
+  classic direction-optimizing heuristic (Beamer et al.): switch to pull
+  when the frontier's outgoing edges exceed ``to_pull_threshold`` (default
+  5%) of all edges, switch back to push when the share drops below
+  ``to_push_threshold`` (default 1%). Algorithms that inherently start in
+  pull mode set ``starts_in_pull`` on their ACC spec.
+* :class:`TrafficModel` holds the calibrated per-edge / per-vertex compute
+  constants the engine charges for each direction. A push iteration pays
+  full per-edge work for every expanded out-edge; a pull iteration pays a
+  cheap frontier-bitmap test per *scanned* in-edge and the full per-edge
+  work only for the *active* (frontier-sourced) share. The shipped values
+  are validated against measured per-phase timings by
+  ``repro.bench.experiments.phase_timings`` and recorded in the generated
+  EXPERIMENTS.md baseline.
 """
 
 from __future__ import annotations
@@ -26,6 +40,52 @@ from typing import List
 class Direction(enum.Enum):
     PUSH = "push"
     PULL = "pull"
+
+
+@dataclass(frozen=True)
+class TrafficModel:
+    """Per-direction compute-op constants of the engine's cost model.
+
+    The constants translate "algorithmic events" into compute operations the
+    device model prices alongside the memory traffic
+    (:func:`repro.gpu.memory.frontier_expansion_traffic` /
+    :func:`repro.gpu.memory.pull_expansion_traffic`). They are deliberately
+    small integers: the calibration experiment
+    (``repro.bench.experiments.phase_timings``) fits the same quantities
+    back out of measured per-phase timings and EXPERIMENTS.md records the
+    fit next to these shipped values, so a future change to either side
+    shows up as a diff against the committed baseline.
+
+    Attributes
+    ----------
+    push_edge_ops:
+        Full per-edge work of a scatter: read source metadata, evaluate
+        ``Compute``, stage the update for the combine.
+    pull_scan_ops:
+        Per *scanned* in-edge work of a gather: one frontier-bitmap test,
+        paid whether or not the source is active.
+    pull_active_edge_ops:
+        Additional per-edge work for in-edges whose source is in the
+        frontier (the scattered metadata read plus the ``Compute``
+        evaluation) - identical to the push per-edge work by construction.
+    vertex_ops:
+        Per-worklist-vertex overhead in either direction (worklist read,
+        offset fetch, combine/apply tail).
+    voting_pull_scan_fraction:
+        Share of candidate in-edges a *voting* combine actually scans in
+        pull mode: any arriving update finalizes the vertex, so the gather
+        terminates early (~half the list on average).
+    """
+
+    push_edge_ops: float = 4.0
+    pull_scan_ops: float = 1.0
+    pull_active_edge_ops: float = 4.0
+    vertex_ops: float = 2.0
+    voting_pull_scan_fraction: float = 0.5
+
+
+#: Shipped calibration (see EXPERIMENTS.md for the measured validation).
+DEFAULT_TRAFFIC_MODEL = TrafficModel()
 
 
 @dataclass

@@ -44,7 +44,12 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.core.acc import ACCAlgorithm, CombineKind
-from repro.core.direction import Direction, DirectionSelector
+from repro.core.direction import (
+    DEFAULT_TRAFFIC_MODEL,
+    Direction,
+    DirectionSelector,
+    TrafficModel,
+)
 from repro.core.filters import (
     FilterContext,
     FilterMode,
@@ -98,6 +103,10 @@ class EngineConfig:
     #: staging - which is the ablation behind Figure 5. Functional results are
     #: unchanged; only the cost differs.
     atomic_combine: bool = False
+    #: Per-direction compute-op constants of the cost model. The default is
+    #: the calibrated set recorded in EXPERIMENTS.md; the calibration
+    #: experiments override it to test fitted alternatives.
+    traffic_model: TrafficModel = DEFAULT_TRAFFIC_MODEL
 
     def __post_init__(self) -> None:
         if self.direction_auto and self.forced_direction is not None:
@@ -278,7 +287,7 @@ class SIMDXEngine:
                 )
 
             if direction is Direction.PULL:
-                candidates = self._gather_candidates(algorithm, metadata)
+                candidates = self._gather_candidates(algorithm, metadata, frontier)
                 classifier = self.pull_classifier
                 classified = classifier.classify(candidates)
             else:
@@ -299,6 +308,16 @@ class SIMDXEngine:
             # The online/batch/atomic filters record destinations that just
             # became active, as observed by the worker that updated them.
             recorded = active_mask[expansion.recorded_destinations]
+            # Only the JIT controller reads the static overflow bound; keep
+            # the standalone-filter ablations free of the extra degree scan.
+            max_producer_records = 0
+            if jit is not None:
+                if direction is Direction.PULL:
+                    # A gather worker records only its own destination.
+                    max_producer_records = 1 if expansion.num_workers else 0
+                else:
+                    degrees = self.classifier.degrees_of(frontier)
+                    max_producer_records = int(degrees.max()) if degrees.size else 0
             ctx = FilterContext(
                 num_vertices=n,
                 updated_destinations=expansion.recorded_destinations[recorded],
@@ -306,9 +325,10 @@ class SIMDXEngine:
                 active_mask=active_mask,
                 frontier_edges=expansion.edges_expanded,
                 num_worker_threads=max(1, expansion.num_workers),
+                max_producer_records=max_producer_records,
             )
             if jit is not None:
-                filter_result = jit.build(ctx, iteration)
+                filter_result = jit.build(ctx, iteration, direction=direction)
                 filter_name = jit.decisions[-1].filter_used
             else:
                 filter_result = standalone_filter.build(ctx)
@@ -360,6 +380,7 @@ class SIMDXEngine:
                     filter_us=filter_us,
                     barrier_us=barrier_us,
                     launch_us=launch_us,
+                    active_edges=int(expansion.active_edges),
                 )
             )
             filter_trace.append(filter_name)
@@ -393,6 +414,11 @@ class SIMDXEngine:
                 "filter_mode": cfg.filter_mode.value,
                 "direction_switches": selector.switches(),
                 "breakdown": device.profiler.breakdown(),
+                # Iterations whose ballot was pre-armed at a pull->push
+                # switch (empty for non-JIT filter modes).
+                "jit_pre_armed_iterations": (
+                    jit.pre_armed_iterations() if jit is not None else []
+                ),
             },
         )
 
@@ -400,16 +426,19 @@ class SIMDXEngine:
     # Functional expansion (Compute + Combine + apply)
     # ------------------------------------------------------------------
     def _gather_candidates(
-        self, algorithm: ACCAlgorithm, metadata: np.ndarray
+        self, algorithm: ACCAlgorithm, metadata: np.ndarray, frontier: np.ndarray
     ) -> np.ndarray:
         """Destinations a pull iteration gathers at.
 
         The algorithm's ``gather_mask`` prunes destinations that provably
-        cannot receive a valid update; vertices without in-edges have
-        nothing to gather either way.
+        cannot receive a valid update - including frontier-dependent bounds
+        (only frontier sources contribute this iteration, so e.g. SSSP can
+        prune destinations already at or below the frontier's best
+        distance); vertices without in-edges have nothing to gather either
+        way.
         """
         mask = np.asarray(
-            algorithm.gather_mask(metadata, self.graph), dtype=bool
+            algorithm.gather_mask(metadata, self.graph, frontier), dtype=bool
         )
         if self._in_degrees is None:
             self._in_degrees = self.graph.in_degrees()
@@ -427,7 +456,7 @@ class SIMDXEngine:
     ) -> _ExpansionResult:
         if direction is Direction.PULL:
             if candidates is None:
-                candidates = self._gather_candidates(algorithm, metadata)
+                candidates = self._gather_candidates(algorithm, metadata, frontier)
             return self._expand_pull(
                 algorithm, metadata, frontier, candidates, frontier_out_edges
             )
@@ -639,6 +668,7 @@ class SIMDXEngine:
         if num_vertices == 0:
             return WorkEstimate()
 
+        model = self.config.traffic_model
         effective_edges = float(num_edges)
         if (
             direction is Direction.PULL
@@ -646,8 +676,8 @@ class SIMDXEngine:
         ):
             # Voting combines terminate a vertex's gather as soon as any
             # update arrives (collaborative early termination), so a pull
-            # iteration touches roughly half of the candidate edges.
-            effective_edges *= 0.5
+            # iteration touches only part of the candidate edges.
+            effective_edges *= model.voting_pull_scan_fraction
 
         if direction is Direction.PUSH:
             traffic = gmem.frontier_expansion_traffic(
@@ -656,7 +686,10 @@ class SIMDXEngine:
                 sortedness=sortedness,
                 weighted=algorithm.uses_weights,
             )
-            compute_ops = effective_edges * 4.0 + num_vertices * 2.0
+            compute_ops = (
+                effective_edges * model.push_edge_ops
+                + num_vertices * model.vertex_ops
+            )
         else:
             active_edges = effective_edges * min(1.0, max(0.0, active_fraction))
             traffic = gmem.pull_expansion_traffic(
@@ -668,7 +701,9 @@ class SIMDXEngine:
             # One bitmap test per scanned in-edge; the full Compute only for
             # contributing (frontier-sourced) edges.
             compute_ops = (
-                effective_edges * 1.0 + active_edges * 4.0 + num_vertices * 2.0
+                effective_edges * model.pull_scan_ops
+                + active_edges * model.pull_active_edge_ops
+                + num_vertices * model.vertex_ops
             )
 
         if stage == "thread":

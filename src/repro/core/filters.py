@@ -20,6 +20,23 @@ reproduced:
 * :class:`AtomicFilter`  -- append active vertices to a global list with
   atomics (Luo et al.); correct but serializes on the list tail.
 
+The paper's Section 4 pipeline has two more pieces that live elsewhere but
+are parameterized here-ish for reference:
+
+* **Worklist separators** (step I): the produced worklist is split into
+  small / medium / large sub-lists by degree so the Thread / Warp / CTA
+  kernels get similarly-sized tasks. The separators default to 32 (the warp
+  size) and 256 (the CTA reduction width) - see
+  :class:`repro.core.frontier.WorklistClassifier` and the sweep in
+  ``benchmarks/test_sec4_worklist_separators.py``.
+* **Decision thresholds** (step II): the JIT controller
+  (:class:`repro.core.jit.JITTaskManager`) starts on the online filter and
+  switches to ballot when a thread bin exceeds the overflow threshold
+  (64 entries by default, the Figure 9a knob); a non-overflowing shadow run
+  switches back. The controller is also direction-aware: pull phases force
+  the online filter (a gather worker records at most one destination) and a
+  pull->push switch pre-arms the ballot filter.
+
 Each filter performs the *functional* worklist construction with NumPy and
 reports the work a GPU implementation would have done, so the engine can
 charge the device cost model.
@@ -84,6 +101,13 @@ class FilterContext:
         Edges expanded this iteration (batch filter materializes them).
     num_worker_threads:
         Number of simulated worker threads owning online-filter bins.
+    max_producer_records:
+        Static upper bound on the entries a single worker can record this
+        iteration: the maximum out-degree of the frontier in push mode, 1 in
+        pull mode (a gather worker records only its own destination). The
+        JIT controller compares it against the overflow threshold to decide
+        whether bounded bins can be trusted without waiting for the dynamic
+        overflow signal.
     """
 
     num_vertices: int
@@ -92,6 +116,7 @@ class FilterContext:
     active_mask: np.ndarray
     frontier_edges: int
     num_worker_threads: int
+    max_producer_records: int = 0
 
 
 @dataclass

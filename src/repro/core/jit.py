@@ -1,4 +1,4 @@
-"""Just-in-time filter selection (Section 4, Figure 7).
+"""Just-in-time, direction-aware filter selection (Section 4, Figure 7).
 
 The JIT controller starts every run on the online filter because its cost is
 proportional to the (initially tiny) number of updates. When any thread bin
@@ -18,6 +18,32 @@ Two subtleties from the paper are reproduced:
 * The overflow threshold (64 by default) is the knob studied in Figure 9(a):
   too low switches to ballot too early (wasted scans on small frontiers),
   too high too late (incomplete online bins force extra ballot iterations).
+
+On top of the overflow signal the controller is *direction-aware*, because
+the execution direction (:mod:`repro.core.direction`) changes what the
+recording workers can observe:
+
+* **Pull phases force the online filter.** A gather worker learns only about
+  its own destination and records it at most once, post-combine, so a thread
+  bin holds at most one entry and overflow is structurally impossible. The
+  controller therefore drops out of ballot mode on the first pull iteration
+  instead of waiting for a non-overflowing shadow run.
+* **The pull->push switch pre-arms the ballot filter.** The first scatter
+  after a pull phase expands whatever frontier the pull phase built up. A
+  thread bin can overflow only when one scatter worker may record more
+  entries than the bin holds, and the maximum out-degree of the handed-over
+  frontier is a static bound on exactly that
+  (``FilterContext.max_producer_records``). When the bound exceeds the
+  overflow threshold the controller starts the iteration directly in ballot
+  mode rather than discovering the overflow through the generic signal and
+  paying an incomplete online pass first; the shadow online filter then
+  switches back as soon as the frontier has genuinely shrunk. On
+  high-diameter road graphs - whose frontiers never contain a
+  super-threshold hub - the bound never trips, so those graphs keep their
+  ballot-free traces (Figure 8).
+
+Every :class:`JITDecision` records the direction that drove it (and whether
+the ballot was pre-armed), so the Figure 8 traces can be read per phase.
 """
 
 from __future__ import annotations
@@ -27,6 +53,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.core.direction import Direction
 from repro.core.filters import (
     BallotFilter,
     FilterContext,
@@ -45,6 +72,12 @@ class JITDecision:
     filter_used: str           # "online" or "ballot"
     overflowed: bool
     worklist_size: int
+    #: Execution direction of the iteration whose worklist this built -
+    #: the signal behind a forced-online (pull) or pre-armed (push) choice.
+    direction: str = Direction.PUSH.value
+    #: True when the ballot ran because the previous iteration was a pull
+    #: (pull->push switch), not because the online bins overflowed.
+    pre_armed: bool = False
 
 
 class JITTaskManager:
@@ -63,6 +96,7 @@ class JITTaskManager:
         self.online = OnlineFilter(capacity=overflow_threshold)
         self.ballot = BallotFilter()
         self._use_ballot = False
+        self._last_direction: Optional[Direction] = None
         self.decisions: List[JITDecision] = []
 
     # ------------------------------------------------------------------
@@ -72,17 +106,49 @@ class JITTaskManager:
 
     def reset(self) -> None:
         self._use_ballot = False
+        self._last_direction = None
         self.decisions.clear()
 
-    def build(self, ctx: FilterContext, iteration: int) -> FilterResult:
+    def build(
+        self,
+        ctx: FilterContext,
+        iteration: int,
+        direction: Direction = Direction.PUSH,
+    ) -> FilterResult:
         """Produce the next worklist, adapting the filter choice.
 
         The decision protocol follows Figure 4(b) lines 16-21: run the online
         filter during compute; after the global barrier, check the overflow
         flag - if set, run the ballot filter to generate the (correct,
         sorted) list, otherwise concatenate the thread bins.
+
+        ``direction`` is the execution direction of the iteration that
+        produced ``ctx``. Pull iterations force the online filter (a gather
+        worker records at most one destination, so overflow cannot happen);
+        the first push iteration after a pull pre-arms the ballot filter
+        instead of waiting for the overflow signal whenever a single worker
+        could overflow its bin (``ctx.max_producer_records`` exceeds the
+        overflow threshold).
         """
+        prev_direction = self._last_direction
+        self._last_direction = direction
+
         online_result = self.online.build(ctx)
+
+        if direction is Direction.PULL:
+            return self._build_pull(ctx, iteration, online_result)
+
+        pre_armed = False
+        if prev_direction is Direction.PULL and not self._use_ballot:
+            # Pull->push switch: a bin can overflow only when a single
+            # scatter worker may record more entries than its capacity - the
+            # maximum frontier out-degree is that static bound. If the pull
+            # phase handed over a frontier containing such a vertex, start
+            # directly in ballot mode instead of paying an incomplete online
+            # pass to rediscover it dynamically.
+            if ctx.max_producer_records > self.overflow_threshold:
+                self._use_ballot = True
+                pre_armed = True
 
         if not self._use_ballot:
             if online_result.overflowed:
@@ -97,9 +163,9 @@ class JITTaskManager:
                     is_sorted=True,
                     is_unique=True,
                 )
-                self._record(iteration, "ballot", True, result)
+                self._record(iteration, "ballot", True, result, direction)
                 return result
-            self._record(iteration, "online", False, online_result)
+            self._record(iteration, "online", False, online_result, direction)
             return online_result
 
         # Ballot mode: the ballot filter produces the worklist; the shadow
@@ -118,12 +184,45 @@ class JITTaskManager:
             is_sorted=True,
             is_unique=True,
         )
-        self._record(iteration, "ballot", online_result.overflowed, result)
+        self._record(
+            iteration, "ballot", online_result.overflowed, result, direction,
+            pre_armed=pre_armed,
+        )
         return result
+
+    def _build_pull(
+        self, ctx: FilterContext, iteration: int, online_result: FilterResult
+    ) -> FilterResult:
+        """Pull phase: force the online filter, leaving ballot mode."""
+        if online_result.overflowed:
+            # Only reachable if the caller violated the one-record-per-gather-
+            # worker invariant; forcing online would silently truncate the
+            # worklist, so fall back to the ballot filter for correctness.
+            self._use_ballot = True
+            ballot_result = self.ballot.build(ctx)
+            result = FilterResult(
+                worklist=ballot_result.worklist,
+                work=online_result.work.merged_with(ballot_result.work),
+                overflowed=True,
+                is_sorted=True,
+                is_unique=True,
+            )
+            self._record(iteration, "ballot", True, result, Direction.PULL)
+            return result
+        self._use_ballot = False
+        self._record(iteration, "online", False, online_result, Direction.PULL)
+        return online_result
 
     # ------------------------------------------------------------------
     def _record(
-        self, iteration: int, filter_used: str, overflowed: bool, result: FilterResult
+        self,
+        iteration: int,
+        filter_used: str,
+        overflowed: bool,
+        result: FilterResult,
+        direction: Direction,
+        *,
+        pre_armed: bool = False,
     ) -> None:
         self.decisions.append(
             JITDecision(
@@ -131,6 +230,8 @@ class JITTaskManager:
                 filter_used=filter_used,
                 overflowed=overflowed,
                 worklist_size=int(result.worklist.size),
+                direction=direction.value,
+                pre_armed=pre_armed,
             )
         )
 
@@ -141,11 +242,19 @@ class JITTaskManager:
         """Filter used at each iteration, in order."""
         return [d.filter_used for d in self.decisions]
 
+    def direction_trace(self) -> List[str]:
+        """Direction that drove each decision, in order."""
+        return [d.direction for d in self.decisions]
+
     def ballot_iterations(self) -> List[int]:
         return [d.iteration for d in self.decisions if d.filter_used == "ballot"]
 
     def online_iterations(self) -> List[int]:
         return [d.iteration for d in self.decisions if d.filter_used == "online"]
+
+    def pre_armed_iterations(self) -> List[int]:
+        """Iterations whose ballot ran because of a pull->push switch."""
+        return [d.iteration for d in self.decisions if d.pre_armed]
 
     def activation_pattern(self) -> str:
         """Compact pattern string, e.g. ``"online*3, ballot*4, online*2"``."""

@@ -5,6 +5,14 @@ Every system in the repository (SIMD-X and the baselines) returns a
 The iteration trace carries everything the paper's figures need: which filter
 ran, which direction, how large the frontier was, and the simulated time of
 each component.
+
+The trace is also the raw material for the traffic-model calibration:
+:func:`phase_timings` folds a run's iterations into consecutive
+same-direction phases (the push/pull clustering of Section 5) and
+:func:`calibrate_pull_constants` fits the per-edge cost constants of
+:class:`repro.core.direction.TrafficModel` back out of the measured
+per-phase timings, so EXPERIMENTS.md can record the fit next to the shipped
+constants.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ class IterationRecord:
     ``direction`` actually walked - the frontier's out-edges in push mode,
     the gather worklist's scanned in-edges in pull mode (which can span most
     of the graph, so their ratio is not a frontier degree in pull phases).
+    ``active_edges`` is the subset of those edges whose source lay in the
+    frontier: equal to ``frontier_edges`` in push mode, and the share that
+    paid full per-edge work (rather than just a bitmap test) in pull mode.
     """
 
     iteration: int
@@ -36,6 +47,7 @@ class IterationRecord:
     filter_us: float
     barrier_us: float
     launch_us: float
+    active_edges: int = 0
 
     @property
     def total_us(self) -> float:
@@ -123,6 +135,150 @@ def aggregate_time_us(records: List[IterationRecord]) -> Dict[str, float]:
         "filter_us": sum(r.filter_us for r in records),
         "barrier_us": sum(r.barrier_us for r in records),
         "launch_us": sum(r.launch_us for r in records),
+    }
+
+
+@dataclass
+class PhaseTiming:
+    """One consecutive same-direction phase of a run (Section 5 clustering)."""
+
+    direction: str
+    start_iteration: int
+    iterations: int
+    frontier_edges: int
+    active_edges: int
+    compute_us: float
+    filter_us: float
+    barrier_us: float
+    launch_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.compute_us + self.filter_us + self.barrier_us + self.launch_us
+
+    @property
+    def compute_us_per_edge(self) -> float:
+        """Measured compute cost per walked edge (the calibration signal)."""
+        if self.frontier_edges == 0:
+            return float("nan")
+        return self.compute_us / self.frontier_edges
+
+
+def phase_timings(records: List[IterationRecord]) -> List[PhaseTiming]:
+    """Fold an iteration trace into consecutive same-direction phases."""
+    phases: List[PhaseTiming] = []
+    for r in records:
+        if not phases or phases[-1].direction != r.direction:
+            phases.append(
+                PhaseTiming(
+                    direction=r.direction,
+                    start_iteration=r.iteration,
+                    iterations=0,
+                    frontier_edges=0,
+                    active_edges=0,
+                    compute_us=0.0,
+                    filter_us=0.0,
+                    barrier_us=0.0,
+                    launch_us=0.0,
+                )
+            )
+        phase = phases[-1]
+        phase.iterations += 1
+        phase.frontier_edges += r.frontier_edges
+        phase.active_edges += r.active_edges
+        phase.compute_us += r.compute_us
+        phase.filter_us += r.filter_us
+        phase.barrier_us += r.barrier_us
+        phase.launch_us += r.launch_us
+    return phases
+
+
+def direction_summary(records: List[IterationRecord]) -> Dict[str, Dict[str, float]]:
+    """Per-direction totals and per-edge compute cost over a whole run."""
+    out: Dict[str, Dict[str, float]] = {}
+    for direction in ("push", "pull"):
+        rows = [r for r in records if r.direction == direction]
+        if not rows:
+            continue
+        edges = sum(r.frontier_edges for r in rows)
+        compute = sum(r.compute_us for r in rows)
+        out[direction] = {
+            "iterations": float(len(rows)),
+            "frontier_edges": float(edges),
+            "active_edges": float(sum(r.active_edges for r in rows)),
+            "compute_us": compute,
+            "filter_us": sum(r.filter_us for r in rows),
+            "total_us": sum(r.total_us for r in rows),
+            "compute_us_per_edge": compute / edges if edges else float("nan"),
+        }
+    return out
+
+
+def calibrate_pull_constants(
+    push_records: List[IterationRecord],
+    pull_records: List[IterationRecord],
+) -> Dict[str, float]:
+    """Fit the pull traffic-model constants from measured per-phase timings.
+
+    The model prices a pull iteration's compute at ``c_scan`` per scanned
+    in-edge (the frontier-bitmap test) plus ``c_active`` per
+    frontier-sourced in-edge (the full per-edge work). Both constants are
+    recovered by a least-squares fit of ``compute_us ~ c_scan * scanned +
+    c_active * active`` over the pull iterations; the push iterations pin
+    the reference cost ``c_push`` (measured push compute time per expanded
+    edge). The ratios ``c_scan / c_push`` and ``c_active / c_push`` are
+    directly comparable to ``TrafficModel.pull_scan_ops / push_edge_ops``
+    (1/4 shipped) and ``pull_active_edge_ops / push_edge_ops`` (1 shipped),
+    up to the memory-traffic share of iteration time the ops constants do
+    not cover.
+
+    When every pull iteration has the same active fraction (e.g. SpMV and
+    BP gather all in-edges, so ``active == scanned``), the two regressors
+    are collinear: the fit then reports the combined per-scanned-edge cost
+    as ``fitted_scan_us_per_edge`` and NaN for the active term, with
+    ``fit_rank`` = 1 flagging the degeneracy.
+    """
+    push_edges = sum(r.frontier_edges for r in push_records)
+    push_compute = sum(r.compute_us for r in push_records)
+    c_push = push_compute / push_edges if push_edges else float("nan")
+
+    pull_rows = [r for r in pull_records if r.frontier_edges > 0]
+    scanned = sum(r.frontier_edges for r in pull_rows)
+    active = sum(r.active_edges for r in pull_rows)
+    pull_compute = sum(r.compute_us for r in pull_rows)
+
+    c_scan = c_active = float("nan")
+    rank = 0
+    if pull_rows:
+        design = np.array(
+            [[r.frontier_edges, r.active_edges] for r in pull_rows],
+            dtype=np.float64,
+        )
+        target = np.array([r.compute_us for r in pull_rows], dtype=np.float64)
+        rank = int(np.linalg.matrix_rank(design))
+        if rank >= 2:
+            coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
+            c_scan, c_active = float(coeffs[0]), float(coeffs[1])
+        else:
+            # Collinear regressors: report the combined per-scanned-edge cost.
+            c_scan = pull_compute / scanned if scanned else float("nan")
+
+    def _ratio(value: float) -> float:
+        if not (np.isfinite(value) and np.isfinite(c_push) and c_push):
+            return float("nan")
+        return value / c_push
+
+    return {
+        "push_us_per_edge": c_push,
+        "pull_us_per_scanned_edge": (
+            pull_compute / scanned if scanned else float("nan")
+        ),
+        "pull_active_edge_fraction": active / scanned if scanned else float("nan"),
+        "fitted_scan_us_per_edge": c_scan,
+        "fitted_active_us_per_edge": c_active,
+        "pull_scan_over_push_edge": _ratio(c_scan),
+        "pull_active_over_push_edge": _ratio(c_active),
+        "fit_rank": float(rank),
     }
 
 

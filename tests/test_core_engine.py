@@ -120,6 +120,11 @@ class TestFilterBehaviourInEngine:
         assert "ballot" in result.filter_trace
         # The last iterations (tiny frontier) fall back to the online filter.
         assert result.filter_trace[-1] == "online"
+        # Direction-aware selection: pull iterations always run the online
+        # filter (a gather worker records at most one destination).
+        for record in result.iteration_records:
+            if record.direction == "pull":
+                assert record.filter_used == "online"
 
     def test_jit_stays_online_on_high_diameter_graph(self, road_graph):
         result = SIMDXEngine(road_graph).run(BFS(source=0))
