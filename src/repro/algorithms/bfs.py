@@ -11,6 +11,12 @@ In pull (gather) iterations - the middle of the traversal, when the frontier
 covers most of the graph - only *unvisited* vertices gather over their
 in-edges (``gather_mask``), the classic bottom-up optimization of Beamer et
 al. that SIMD-X's direction selector exists to exploit.
+
+BFS is the canonical *batched* traversal (``SIMDXEngine.run_batch``): K
+sources become K lanes whose per-edge computes flatten into one call, and
+because ``compute_edges`` is a pure per-edge map the inherited
+``scatter_edges`` / ``gather_edges`` lane-axis hooks need no override -
+``supports_multi_source`` is all it takes to opt in.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ class BFS(ACCAlgorithm):
     combine_op = CombineOp.MIN
     uses_weights = False
     starts_in_pull = False
+    supports_multi_source = True
 
     def __init__(self, source: int = 0):
         self.source = source

@@ -46,6 +46,11 @@ class SSSP(ACCAlgorithm):
     combine_op = CombineOp.MIN
     uses_weights = True
     starts_in_pull = False
+    #: K sources batch into K lanes (``SIMDXEngine.run_batch``): the
+    #: per-edge relaxation is a pure map, and the per-lane pending-set
+    #: bookkeeping stays correct because the engine gives each lane its own
+    #: algorithm copy (``init`` allocates fresh per-run state).
+    supports_multi_source = True
 
     def __init__(self, source: int = 0, delta: float | None = None):
         if delta is not None and delta <= 0:

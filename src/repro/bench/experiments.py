@@ -6,7 +6,10 @@ lists of rows so that the pytest benchmarks, the reporting module and the
 examples can all consume them. EXPERIMENTS.md records the observed outputs
 next to the paper's numbers; running ``python -m repro.bench.experiments``
 regenerates it from :func:`phase_timings` (the per-algorithm, per-phase
-timing baseline plus the traffic-model calibration).
+timing baseline plus the traffic-model calibration),
+:func:`gather_refinement` and :func:`batching_throughput` (the batched
+multi-source serving sweep, which is this repository's own experiment
+rather than a paper artifact).
 """
 
 from __future__ import annotations
@@ -20,16 +23,18 @@ from repro.algorithms import ALGORITHMS
 from repro.bench.harness import (
     BenchmarkContext,
     TABLE4_ALGORITHMS,
+    default_sources,
     make_algorithm,
     run_simdx,
 )
+from repro.core.engine import SIMDXEngine
 from repro.core import metrics as core_metrics
 from repro.core.direction import DEFAULT_TRAFFIC_MODEL, Direction
 from repro.core.engine import EngineConfig
 from repro.core.filters import FilterMode
 from repro.core.fusion import FusionPlan, FusionStrategy, REGISTERS_TABLE
 from repro.core.metrics import RunResult, geometric_mean_speedup
-from repro.gpu.device import KNOWN_DEVICES, get_device_spec
+from repro.gpu.device import GPUDevice, KNOWN_DEVICES, get_device_spec
 from repro.graph.datasets import DATASETS
 from repro.graph.properties import summarize
 
@@ -678,6 +683,104 @@ def gather_refinement(
     return {"rows": rows}
 
 
+# ----------------------------------------------------------------------
+# Batched multi-source throughput (the serving story, docs/batching.md)
+# ----------------------------------------------------------------------
+#: Lane counts the batching experiment sweeps (K concurrent queries).
+BATCH_LANE_COUNTS = (1, 4, 16, 64)
+
+
+def batching_throughput(
+    ctx: BenchmarkContext,
+    lane_counts: Sequence[int] = BATCH_LANE_COUNTS,
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    graphs: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Queries/sec of ``run_batch`` versus a serial loop over the same K.
+
+    For each (algorithm, graph, K) cell this answers the K highest-degree
+    sources once through the batched engine and once as K independent
+    ``run`` calls, verifies the batched per-lane values are bit-identical
+    to the independent runs, and reports simulated throughput plus the
+    amortization bookkeeping (union edges walked vs (edge, lane) pairs
+    evaluated - the serial loop walks every pair as a full edge).
+
+    A batch that does not fit the device appears as a failed row (Table-4
+    style): the K metadata arrays are the dominant batching memory cost,
+    so paper-scale graphs whose single run fits the modeled K40 can OOM at
+    higher lane counts.
+    """
+    graphs = list(graphs) if graphs is not None else list(ctx.datasets)
+    rows: List[Dict] = []
+    for algorithm_name in algorithms:
+        for abbrev in graphs:
+            graph = ctx.graph(abbrev)
+            counts = sorted(k for k in lane_counts if k <= graph.num_vertices)
+            if not counts:
+                continue
+            # The source sets are nested prefixes (top-K by degree), so one
+            # serial sweep serves every lane count - grown lazily, because
+            # the baselines of an OOM'd batch cell would never be read.
+            all_sources = default_sources(graph, max(counts))
+            singles: List[RunResult] = []
+            for k in counts:
+                sources = all_sources[:k]
+                engine = SIMDXEngine(graph, device=GPUDevice(ctx.device_spec))
+                batch = engine.run_batch(
+                    make_algorithm(algorithm_name, graph), sources
+                )
+                if batch.failed:
+                    rows.append(
+                        {
+                            "algorithm": algorithm_name,
+                            "graph": abbrev,
+                            "lanes": k,
+                            "failed": True,
+                            "failure_reason": batch.failure_reason,
+                        }
+                    )
+                    continue
+                while len(singles) < k:
+                    singles.append(
+                        run_simdx(
+                            graph,
+                            make_algorithm(
+                                algorithm_name, graph,
+                                source=all_sources[len(singles)],
+                            ),
+                            device_spec=ctx.device_spec,
+                        )
+                    )
+                serial_us = sum(s.elapsed_us for s in singles[:k])
+                identical = all(
+                    np.array_equal(batch.values[lane], singles[lane].values)
+                    for lane in range(k)
+                )
+                rows.append(
+                    {
+                        "algorithm": algorithm_name,
+                        "graph": abbrev,
+                        "lanes": k,
+                        "failed": False,
+                        "batch_ms": batch.elapsed_ms,
+                        "serial_ms": serial_us / 1000.0,
+                        "batch_qps": batch.queries_per_second,
+                        "serial_qps": (
+                            k / (serial_us / 1e6) if serial_us else float("nan")
+                        ),
+                        "speedup": (
+                            serial_us / batch.elapsed_us
+                            if batch.elapsed_us else float("nan")
+                        ),
+                        "iterations": batch.iterations,
+                        "union_edges": batch.extra["union_edges_walked"],
+                        "lane_edge_pairs": batch.extra["lane_edge_pairs"],
+                        "values_identical": identical,
+                    }
+                )
+    return {"rows": rows}
+
+
 def generate_experiments_md(
     path: str = "EXPERIMENTS.md",
     *,
@@ -695,8 +798,9 @@ def generate_experiments_md(
     ctx = BenchmarkContext(scale=scale, datasets=tuple(datasets))
     timings = phase_timings(ctx)
     refinement = gather_refinement(ctx)
+    batching = batching_throughput(ctx)
     text = render_experiments_md(
-        timings, refinement, scale=scale, datasets=datasets
+        timings, refinement, batching=batching, scale=scale, datasets=datasets
     )
     with open(path, "w") as handle:
         handle.write(text)

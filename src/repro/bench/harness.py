@@ -46,6 +46,24 @@ def default_source(graph: CSRGraph) -> int:
     return int(np.argmax(degrees))
 
 
+def default_sources(graph: CSRGraph, k: int) -> List[int]:
+    """Deterministic K-query source set: the K highest-out-degree vertices.
+
+    Extends :func:`default_source` to the batched experiments
+    (``SIMDXEngine.run_batch``): distinct hubs, all inside the giant
+    component, stable across runs. ``k`` may not exceed the vertex count.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    degrees = graph.out_degrees()
+    if k > degrees.size:
+        raise ValueError(f"k={k} exceeds the graph's {degrees.size} vertices")
+    # Descending degree with ties broken by *lowest* vertex id, so the
+    # first entry is exactly default_source's np.argmax pick.
+    order = np.argsort(-degrees, kind="stable")
+    return [int(v) for v in order[:k]]
+
+
 def make_algorithm(name: str, graph: CSRGraph, **kwargs) -> ACCAlgorithm:
     """Instantiate an algorithm with benchmark-default parameters."""
     key = name.lower()

@@ -255,6 +255,7 @@ def render_experiments_md(
     timings: Dict,
     refinement: Dict,
     *,
+    batching: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -262,9 +263,11 @@ def render_experiments_md(
 
     ``timings`` is :func:`repro.bench.experiments.phase_timings` output,
     ``refinement`` is :func:`repro.bench.experiments.gather_refinement`
-    output. The document is deterministic for a fixed (scale, datasets)
-    configuration, so future PRs can diff their regenerated copy against
-    the committed baseline.
+    output, ``batching`` (optional) is
+    :func:`repro.bench.experiments.batching_throughput` output. The
+    document is deterministic for a fixed (scale, datasets) configuration,
+    so future PRs can diff their regenerated copy against the committed
+    baseline.
     """
     parts: List[str] = []
     parts.append("# EXPERIMENTS — measured baselines")
@@ -274,8 +277,8 @@ def render_experiments_md(
         "simulated K40. All times are simulated microseconds/milliseconds "
         "from the device cost model; the document is deterministic for a "
         "fixed configuration, so regenerate and diff it when touching the "
-        "engine's cost accounting, the direction machinery or the JIT "
-        "controller.\n"
+        "engine's cost accounting, the direction machinery, the JIT "
+        "controller or the batched multi-source path.\n"
     )
 
     parts.append("## 1. Per-algorithm, per-phase timing baseline\n")
@@ -305,7 +308,8 @@ def render_experiments_md(
         "online — a gather worker records at most one destination, so its "
         "bin cannot overflow), and pre-armed ballots (ballot fired on the "
         "first push iteration after a pull phase because the handed-over "
-        "frontier contained a super-threshold hub).\n"
+        "frontier's max out-degree, scaled by the expected offer success "
+        "rate, exceeded the overflow threshold).\n"
     )
     parts.append(
         _md_table(
@@ -336,9 +340,12 @@ def render_experiments_md(
         f"{shipped['pull_scan_over_push_edge']:.2f}` and "
         "`pull_active_edge_ops / push_edge_ops = 1` - up to the "
         "memory-traffic share of iteration time the ops constants do not "
-        "cover. `fit rank` 1 flags collinear regressors (every pull "
-        "iteration gathered all in-edges, e.g. SpMV/BP): there the scan "
-        "column holds the combined per-scanned-edge cost. Voting combines "
+        "cover. `fit rank` 1 flags (near-)collinear regressors - every "
+        "pull iteration gathered (almost) all in-edges, e.g. SpMV/BP "
+        "exactly and WCC-style runs within the condition-number bound "
+        "(`fit cond`, capped at "
+        "`repro.core.metrics.COLLINEARITY_LIMIT`): there the scan column "
+        "holds the combined per-scanned-edge cost. Voting combines "
         "terminate gathers early, so their measured scan cost also folds in "
         f"`voting_pull_scan_fraction = {shipped['voting_pull_scan_fraction']}`.\n"
     )
@@ -346,7 +353,7 @@ def render_experiments_md(
         _md_table(
             ["algorithm", "push µs/edge", "pull µs/scanned edge",
              "active fraction", "fitted scan µs", "fitted active µs",
-             "scan/push", "active/push", "fit rank"],
+             "scan/push", "active/push", "fit rank", "fit cond"],
             [
                 (name,
                  round(fit["push_us_per_edge"], 6),
@@ -356,7 +363,8 @@ def render_experiments_md(
                  round(fit["fitted_active_us_per_edge"], 6),
                  round(fit["pull_scan_over_push_edge"], 3),
                  round(fit["pull_active_over_push_edge"], 3),
-                 int(fit["fit_rank"]))
+                 int(fit["fit_rank"]),
+                 round(fit["fit_condition"], 1))
                 for name, fit in calibration["per_algorithm"].items()
             ],
         )
@@ -412,6 +420,51 @@ def render_experiments_md(
             ],
         )
     )
+
+    if batching is not None and batching["rows"]:
+        parts.append("\n## 5. Batched multi-source throughput\n")
+        parts.append(
+            "`SIMDXEngine.run_batch` answers K queries (the K highest-"
+            "degree sources) in one execution: every iteration walks the "
+            "CSR once over the union of the K lane frontiers and expands "
+            "each union edge only into the lanes whose frontier contains "
+            "its source, against a serial baseline that loops `run` over "
+            "the same sources. Per-lane results are verified bit-identical "
+            "to the independent runs in every cell. `union edges` vs "
+            "`lane pairs` is the amortization: the serial loop walks every "
+            "pair as a full edge, the batch pays the CSR walk once per "
+            "union edge. On high-diameter graphs the union frontier can "
+            "cross the pull threshold earlier than any single lane would, "
+            "so the batch may scan more in-edges than it answers pairs - "
+            "the speedup there comes from amortizing the per-iteration "
+            "fixed costs (launches, barriers, task management) instead. "
+            "`OOM` cells are Table-4-style memory failures: batching keeps "
+            "K metadata arrays resident, so a paper-scale graph whose "
+            "single query fits the modeled device can stop fitting at "
+            "higher lane counts. See docs/batching.md for the lane model "
+            "and when batching wins.\n"
+        )
+        parts.append(
+            _md_table(
+                ["algorithm", "graph", "K", "batch ms", "serial ms",
+                 "batch q/s", "serial q/s", "speedup", "union edges",
+                 "lane pairs", "identical"],
+                [
+                    (
+                        (r["algorithm"], r["graph"], r["lanes"], "OOM",
+                         None, None, None, None, None, None, None)
+                        if r["failed"] else
+                        (r["algorithm"], r["graph"], r["lanes"],
+                         round(r["batch_ms"], 3), round(r["serial_ms"], 3),
+                         round(r["batch_qps"], 0), round(r["serial_qps"], 0),
+                         round(r["speedup"], 2), r["union_edges"],
+                         r["lane_edge_pairs"],
+                         "yes" if r["values_identical"] else "NO")
+                    )
+                    for r in batching["rows"]
+                ],
+            )
+        )
     parts.append("")
     return "\n".join(parts)
 

@@ -38,8 +38,10 @@ claim that programming (ACC) is decoupled from processing (JIT + fusion).
 
 from __future__ import annotations
 
+import copy
+
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,13 +60,15 @@ from repro.core.filters import (
     make_filter,
 )
 from repro.core.frontier import (
+    BatchedFrontier,
     ClassifiedFrontier,
+    LANES_PER_WORD,
     WorklistClassifier,
     threads_for_frontier,
 )
 from repro.core.fusion import FusionPlan, FusionStrategy
 from repro.core.jit import JITTaskManager
-from repro.core.metrics import IterationRecord, RunResult
+from repro.core.metrics import BatchRunResult, IterationRecord, RunResult
 from repro.gpu import memory as gmem
 from repro.gpu.atomics import profile_atomic_updates
 from repro.gpu.barrier import SoftwareGlobalBarrier
@@ -222,6 +226,83 @@ class SIMDXEngine:
             device.reset_memory()
         return result
 
+    def run_batch(
+        self, algorithm: ACCAlgorithm, sources: Sequence[int], **params
+    ) -> BatchRunResult:
+        """Answer K queries of ``algorithm`` (one per source) in one run.
+
+        Each source owns a query *lane*: lane k's metadata evolves exactly
+        as ``run(algorithm_from(sources[k]))`` would evolve it - lanes
+        advance in lockstep with their independent runs, so the final
+        metadata is bit-identical per lane (for delta-stepping SSSP the
+        lockstep is per-value, not per-iteration - see
+        :class:`~repro.core.metrics.BatchRunResult`) - but every iteration
+        walks the CSR once over the *union* of the lane frontiers
+        (:class:`~repro.core.frontier.BatchedFrontier`) and expands each
+        union edge only into the lanes whose frontier contains its source.
+        Direction selection and the task-management (JIT) filter run once
+        per iteration on the union worklist; ``docs/batching.md`` documents
+        that approximation and when the amortization wins.
+
+        ``algorithm`` must set ``supports_multi_source`` (its ``init`` takes
+        a per-query ``source``); the instance itself is used only for the
+        stateless per-edge Compute - per-lane state lives in per-lane
+        copies, so stateful hooks (SSSP's pending set) stay isolated.
+        """
+        device = self.device
+        graph = self.graph
+        sources = [int(s) for s in sources]
+        if not sources:
+            raise ValueError("run_batch needs at least one source")
+        if not algorithm.supports_multi_source:
+            raise ValueError(
+                f"algorithm {algorithm.name!r} does not support multi-source "
+                "batching (no per-query source to batch over)"
+            )
+        num_lanes = len(sources)
+        device.profiler.reset()
+        device.reset_memory()
+        self.fusion_plan.reset()
+
+        num_words = -(-num_lanes // LANES_PER_WORD)
+        try:
+            self._graph_alloc = device.malloc(
+                graph.modeled_csr_bytes(), label="csr_graph"
+            )
+            # The dominant batching cost: one metadata array (current +
+            # previous) per lane.
+            device.malloc(
+                2 * num_lanes * graph.modeled_num_vertices * 8,
+                label="metadata_lanes",
+            )
+            # Union worklists plus the per-vertex lane bitmask words.
+            device.malloc(
+                3 * graph.modeled_num_vertices * 4
+                + graph.modeled_num_vertices * num_words * 8,
+                label="worklists",
+            )
+        except DeviceOutOfMemory as exc:
+            return BatchRunResult.failure(
+                self.SYSTEM_NAME, algorithm.name, graph.name, sources,
+                f"OOM: {exc}", device=device.spec.name,
+            )
+
+        try:
+            result = self._run_batch_loop(algorithm, sources, **params)
+        except DeviceOutOfMemory as exc:
+            result = BatchRunResult.failure(
+                self.SYSTEM_NAME, algorithm.name, graph.name, sources,
+                f"OOM: {exc}", device=device.spec.name,
+            )
+        except FilterOverflowError as exc:
+            result = BatchRunResult.failure(
+                self.SYSTEM_NAME, algorithm.name, graph.name, sources,
+                f"online filter overflow: {exc}", device=device.spec.name,
+            )
+        finally:
+            device.reset_memory()
+        return result
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -305,66 +386,35 @@ class SIMDXEngine:
 
             # ---------------- next worklist (task management) -----------
             active_mask = algorithm.active_mask(metadata, prev_metadata)
-            # The online/batch/atomic filters record destinations that just
-            # became active, as observed by the worker that updated them.
-            recorded = active_mask[expansion.recorded_destinations]
-            # Only the JIT controller reads the static overflow bound; keep
-            # the standalone-filter ablations free of the extra degree scan.
-            max_producer_records = 0
-            if jit is not None:
-                if direction is Direction.PULL:
-                    # A gather worker records only its own destination.
-                    max_producer_records = 1 if expansion.num_workers else 0
-                else:
-                    degrees = self.classifier.degrees_of(frontier)
-                    max_producer_records = int(degrees.max()) if degrees.size else 0
-            ctx = FilterContext(
-                num_vertices=n,
-                updated_destinations=expansion.recorded_destinations[recorded],
-                producer_thread=expansion.recorded_producers[recorded],
+            success_rate = 1.0
+            if (
+                jit is not None
+                and direction is Direction.PUSH
+                and direction_trace
+                and direction_trace[-1] == Direction.PULL.value
+            ):
+                # Pull->push switch: the pre-arm bound folds in the
+                # expected offer success rate, estimated from the
+                # pre-iteration metadata (see _offer_success_rate).
+                success_rate = self._offer_success_rate(algorithm, prev_metadata)
+            (
+                filter_result, filter_name,
+                compute_us, launch_us, filter_us, barrier_us,
+            ) = self._finish_iteration(
+                algorithm=algorithm,
+                classified=classified,
+                classifier=classifier,
+                direction=direction,
+                sortedness=sortedness,
+                expansion=expansion,
                 active_mask=active_mask,
-                frontier_edges=expansion.edges_expanded,
-                num_worker_threads=max(1, expansion.num_workers),
-                max_producer_records=max_producer_records,
+                frontier=frontier,
+                jit=jit,
+                standalone_filter=standalone_filter,
+                iteration=iteration,
+                barrier=barrier,
+                success_rate=success_rate,
             )
-            if jit is not None:
-                filter_result = jit.build(ctx, iteration, direction=direction)
-                filter_name = jit.decisions[-1].filter_used
-            else:
-                filter_result = standalone_filter.build(ctx)
-                filter_name = standalone_filter.name
-                if filter_result.overflowed and cfg.filter_mode == FilterMode.ONLINE:
-                    raise FilterOverflowError(
-                        f"iteration {iteration}: thread bin exceeded "
-                        f"{cfg.overflow_threshold} entries"
-                    )
-
-            # Batch-filter style approaches need the active edge list resident;
-            # its size scales with the modeled graph like everything else.
-            transient_alloc = None
-            if filter_result.extra_memory_bytes:
-                transient_alloc = device.malloc(
-                    int(filter_result.extra_memory_bytes * graph.modeled_edge_scale()),
-                    label="active_edge_list",
-                )
-
-            # ---------------- cost accounting ----------------------------
-            atomic_profile = None
-            if cfg.atomic_combine:
-                atomic_profile = profile_atomic_updates(expansion.update_destinations)
-            compute_us, launch_us, task_kernel = self._charge_compute(
-                classified, classifier, direction, sortedness, algorithm,
-                atomic_profile=atomic_profile,
-                active_edge_fraction=(
-                    expansion.active_edges / expansion.edges_expanded
-                    if expansion.edges_expanded else 1.0
-                ),
-            )
-            filter_us = self._charge_filter(filter_result, direction, task_kernel)
-            barrier_us = self._charge_barrier(barrier)
-
-            if transient_alloc is not None:
-                device.free(transient_alloc)
 
             iteration_us = compute_us + launch_us + filter_us + barrier_us
             total_us += iteration_us
@@ -421,6 +471,378 @@ class SIMDXEngine:
                 ),
             },
         )
+
+    # ------------------------------------------------------------------
+    # Batched multi-source loop
+    # ------------------------------------------------------------------
+    def _run_batch_loop(
+        self, algorithm: ACCAlgorithm, sources: List[int], **params
+    ) -> BatchRunResult:
+        cfg = self.config
+        graph = self.graph
+        device = self.device
+        n = graph.num_vertices
+        num_lanes = len(sources)
+
+        # Per-lane algorithm copies isolate stateful hooks (SSSP's pending
+        # set, k-Core's bookkeeping); the shared prototype serves only the
+        # stateless flattened Compute calls.
+        clones = [copy.copy(algorithm) for _ in sources]
+        metadata = np.zeros((num_lanes, n), dtype=np.float64)
+        lane_frontiers: List[np.ndarray] = []
+        for lane, (clone, source) in enumerate(zip(clones, sources)):
+            state = clone.init(graph, source=source, **params)
+            metadata[lane] = np.asarray(state.metadata, dtype=np.float64)
+            lane_frontiers.append(
+                np.unique(np.asarray(state.frontier, dtype=np.int64))
+            )
+
+        jit: Optional[JITTaskManager] = None
+        standalone_filter = None
+        if cfg.filter_mode == FilterMode.JIT:
+            jit = JITTaskManager(
+                overflow_threshold=cfg.overflow_threshold,
+                shadow_online=cfg.shadow_online,
+            )
+        else:
+            standalone_filter = make_filter(
+                cfg.filter_mode, online_capacity=cfg.overflow_threshold
+            )
+
+        selector = DirectionSelector(
+            total_edges=graph.num_edges,
+            to_pull_threshold=cfg.to_pull_threshold,
+            to_push_threshold=cfg.to_push_threshold,
+            start_direction=(
+                Direction.PULL if algorithm.starts_in_pull else Direction.PUSH
+            ),
+        )
+        barrier = self._make_barrier()
+        max_iterations = (
+            cfg.max_iterations if cfg.max_iterations is not None
+            else algorithm.max_iterations
+        )
+
+        records: List[IterationRecord] = []
+        filter_trace: List[str] = []
+        direction_trace: List[str] = []
+        lane_iterations = [0] * num_lanes
+        total_us = 0.0
+        iteration = 0
+        sortedness = 1.0
+
+        while any(f.size for f in lane_frontiers) and iteration < max_iterations:
+            iteration += 1
+            live = [k for k in range(num_lanes) if lane_frontiers[k].size]
+            for lane in live:
+                lane_iterations[lane] = iteration
+            prev_metadata = metadata.copy()
+            batched = BatchedFrontier.from_lanes(lane_frontiers)
+            union = batched.vertices
+
+            # ------------- direction on the union frontier ---------------
+            # The Beamer test prices the union's out-edges: one decision for
+            # all lanes (the union approximation of docs/batching.md).
+            push_classified = self.classifier.classify(union)
+            union_out_edges = push_classified.total_edges
+            if cfg.direction_auto:
+                direction = selector.decide(union_out_edges)
+            else:
+                direction = selector.force(
+                    cfg.forced_direction or selector.start_direction
+                )
+            # ------------- batched expansion -----------------------------
+            if direction is Direction.PULL:
+                # Per-lane out-edge counts gate the per-lane frontier hook
+                # (a gather consumes the frontier's contributions whether or
+                # not any in-edge survives the lane's keep filter).
+                lane_out_edges = {
+                    lane: self.classifier.edge_count(lane_frontiers[lane])
+                    for lane in live
+                }
+                if self._in_degrees is None:
+                    self._in_degrees = graph.in_degrees()
+                lane_candidates: Dict[int, np.ndarray] = {}
+                for lane in live:
+                    mask = np.asarray(
+                        clones[lane].gather_mask(
+                            metadata[lane], graph, lane_frontiers[lane]
+                        ),
+                        dtype=bool,
+                    )
+                    lane_candidates[lane] = np.nonzero(
+                        mask & (self._in_degrees > 0)
+                    )[0].astype(np.int64)
+                non_empty = [c for c in lane_candidates.values() if c.size]
+                union_candidates = (
+                    np.unique(np.concatenate(non_empty)) if non_empty
+                    else np.zeros(0, dtype=np.int64)
+                )
+                classifier = self.pull_classifier
+                classified = classifier.classify(union_candidates)
+                expansion, lane_recorded, lane_pairs = self._expand_batch_pull(
+                    algorithm, clones, metadata, lane_frontiers, live,
+                    lane_candidates, union_candidates, lane_out_edges,
+                )
+            else:
+                classifier = self.classifier
+                classified = push_classified
+                expansion, lane_recorded, lane_pairs = self._expand_batch_push(
+                    algorithm, clones, metadata, batched, live,
+                )
+            frontier_edges = classified.total_edges
+
+            # ------------- per-lane next frontiers -----------------------
+            # Functional evolution is exact per lane: mirror the single-run
+            # worklist derivation (recorded ∩ active, with the convergence
+            # re-seed) on each lane's own metadata row.
+            union_active = np.zeros(n, dtype=bool)
+            for lane in live:
+                active = np.asarray(
+                    clones[lane].active_mask(metadata[lane], prev_metadata[lane]),
+                    dtype=bool,
+                )
+                union_active |= active
+                recorded_lane = lane_recorded[lane]
+                worklist = (
+                    recorded_lane[active[recorded_lane]]
+                    if recorded_lane.size else recorded_lane
+                )
+                next_frontier = np.unique(worklist)
+                if next_frontier.size == 0 and not clones[lane].converged(
+                    metadata[lane], prev_metadata[lane], iteration
+                ):
+                    next_frontier = np.nonzero(active)[0].astype(np.int64)
+                lane_frontiers[lane] = next_frontier
+
+            # ------------- one task-management pass on the union ---------
+            # Charged and traced exactly like a single-source iteration
+            # over the union worklist (the shared tail below); its output
+            # worklist is redundant with the per-lane derivation above and
+            # is used only for the sortedness of the next iteration's cost
+            # model.
+            success_rate = 1.0
+            if (
+                jit is not None
+                and direction is Direction.PUSH
+                and direction_trace
+                and direction_trace[-1] == Direction.PULL.value
+            ):
+                # Union analogue of _offer_success_rate: a destination is
+                # still updatable if any lane can update it.
+                updatable = np.zeros(n, dtype=bool)
+                for lane in live:
+                    updatable |= np.asarray(
+                        clones[lane].gather_mask(
+                            prev_metadata[lane], graph, None
+                        ),
+                        dtype=bool,
+                    )
+                success_rate = float(updatable.mean()) if n else 1.0
+            (
+                filter_result, filter_name,
+                compute_us, launch_us, filter_us, barrier_us,
+            ) = self._finish_iteration(
+                algorithm=algorithm,
+                classified=classified,
+                classifier=classifier,
+                direction=direction,
+                sortedness=sortedness,
+                expansion=expansion,
+                active_mask=union_active,
+                frontier=union,
+                jit=jit,
+                standalone_filter=standalone_filter,
+                iteration=iteration,
+                barrier=barrier,
+                success_rate=success_rate,
+                extra_lane_pairs=max(0, lane_pairs - expansion.active_edges),
+            )
+
+            iteration_us = compute_us + launch_us + filter_us + barrier_us
+            total_us += iteration_us
+            records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    direction=direction.value,
+                    frontier_vertices=int(union.size),
+                    frontier_edges=int(frontier_edges),
+                    filter_used=filter_name,
+                    filter_overflowed=filter_result.overflowed,
+                    compute_us=compute_us,
+                    filter_us=filter_us,
+                    barrier_us=barrier_us,
+                    launch_us=launch_us,
+                    active_edges=int(expansion.active_edges),
+                    lane_edge_pairs=int(lane_pairs),
+                    active_lanes=len(live),
+                )
+            )
+            filter_trace.append(filter_name)
+            direction_trace.append(direction.value)
+            sortedness = (
+                filter_result.sortedness if filter_result.worklist.size else 1.0
+            )
+
+        values = np.stack(
+            [clones[k].vertex_value(metadata[k]) for k in range(num_lanes)]
+        )
+        return BatchRunResult(
+            system=self.SYSTEM_NAME,
+            algorithm=algorithm.name,
+            graph=graph.name,
+            sources=sources,
+            metadata=metadata,
+            values=values,
+            elapsed_us=total_us,
+            iterations=iteration,
+            lane_iterations=lane_iterations,
+            device=device.spec.name,
+            kernel_launches=device.profiler.launch_count(),
+            filter_trace=filter_trace,
+            direction_trace=direction_trace,
+            iteration_records=records,
+            extra={
+                "fusion": cfg.fusion.value,
+                "filter_mode": cfg.filter_mode.value,
+                "direction_switches": selector.switches(),
+                "breakdown": device.profiler.breakdown(),
+                "jit_pre_armed_iterations": (
+                    jit.pre_armed_iterations() if jit is not None else []
+                ),
+                # Amortization bookkeeping: edges the union walk touched vs
+                # the (edge, lane) pairs a serial execution would have
+                # walked.
+                "union_edges_walked": sum(r.frontier_edges for r in records),
+                "lane_edge_pairs": sum(r.lane_edge_pairs for r in records),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Shared iteration tail (task management + cost accounting)
+    # ------------------------------------------------------------------
+    def _finish_iteration(
+        self,
+        *,
+        algorithm: ACCAlgorithm,
+        classified: ClassifiedFrontier,
+        classifier: WorklistClassifier,
+        direction: Direction,
+        sortedness: float,
+        expansion: _ExpansionResult,
+        active_mask: np.ndarray,
+        frontier: np.ndarray,
+        jit: Optional[JITTaskManager],
+        standalone_filter,
+        iteration: int,
+        barrier: Optional[SoftwareGlobalBarrier],
+        success_rate: float = 1.0,
+        extra_lane_pairs: int = 0,
+    ) -> Tuple[FilterResult, str, float, float, float, float]:
+        """Task management + cost accounting shared by both loops.
+
+        ``frontier`` is the executed push worklist (the active frontier in
+        a single run, the lane union in a batch) whose out-degrees bound a
+        scatter worker's recordings; ``active_mask``/``expansion`` describe
+        what the iteration updated. Returns ``(filter_result, filter_name,
+        compute_us, launch_us, filter_us, barrier_us)``. Keeping this tail
+        in one place guarantees batched iterations are charged and traced
+        exactly like single-source iterations over the union worklist.
+        """
+        cfg = self.config
+        graph = self.graph
+        device = self.device
+
+        # The online/batch/atomic filters record destinations that just
+        # became active, as observed by the worker that updated them.
+        recorded = active_mask[expansion.recorded_destinations]
+        # Only the JIT controller reads the static overflow bound; keep
+        # the standalone-filter ablations free of the extra degree scan.
+        max_producer_records = 0
+        if jit is not None:
+            if direction is Direction.PULL:
+                # A gather worker records only its own destination.
+                max_producer_records = 1 if expansion.num_workers else 0
+            else:
+                degrees = self.classifier.degrees_of(frontier)
+                max_producer_records = int(degrees.max()) if degrees.size else 0
+        ctx = FilterContext(
+            num_vertices=graph.num_vertices,
+            updated_destinations=expansion.recorded_destinations[recorded],
+            producer_thread=expansion.recorded_producers[recorded],
+            active_mask=active_mask,
+            frontier_edges=expansion.edges_expanded,
+            num_worker_threads=max(1, expansion.num_workers),
+            max_producer_records=max_producer_records,
+            success_rate=success_rate,
+        )
+        if jit is not None:
+            filter_result = jit.build(ctx, iteration, direction=direction)
+            filter_name = jit.decisions[-1].filter_used
+        else:
+            filter_result = standalone_filter.build(ctx)
+            filter_name = standalone_filter.name
+            if filter_result.overflowed and cfg.filter_mode == FilterMode.ONLINE:
+                raise FilterOverflowError(
+                    f"iteration {iteration}: thread bin exceeded "
+                    f"{cfg.overflow_threshold} entries"
+                )
+
+        # Batch-filter style approaches need the active edge list resident;
+        # its size scales with the modeled graph like everything else.
+        transient_alloc = None
+        if filter_result.extra_memory_bytes:
+            transient_alloc = device.malloc(
+                int(filter_result.extra_memory_bytes * graph.modeled_edge_scale()),
+                label="active_edge_list",
+            )
+
+        atomic_profile = None
+        if cfg.atomic_combine:
+            atomic_profile = profile_atomic_updates(expansion.update_destinations)
+        compute_us, launch_us, task_kernel = self._charge_compute(
+            classified, classifier, direction, sortedness, algorithm,
+            atomic_profile=atomic_profile,
+            active_edge_fraction=(
+                expansion.active_edges / expansion.edges_expanded
+                if expansion.edges_expanded else 1.0
+            ),
+            extra_lane_pairs=extra_lane_pairs,
+        )
+        filter_us = self._charge_filter(filter_result, direction, task_kernel)
+        barrier_us = self._charge_barrier(barrier)
+
+        if transient_alloc is not None:
+            device.free(transient_alloc)
+        return (
+            filter_result, filter_name,
+            compute_us, launch_us, filter_us, barrier_us,
+        )
+
+    def _offer_success_rate(
+        self, algorithm: ACCAlgorithm, metadata: np.ndarray
+    ) -> float:
+        """Estimated share of scatter offers that can still change a vertex.
+
+        A scatter worker records an entry only when its offer *changes* the
+        destination, so the pre-arm bound (max frontier out-degree) is
+        pessimistic on mostly-settled graphs. The algorithm's frontier-free
+        ``gather_mask`` marks exactly the vertices that can still receive a
+        valid update (the unvisited share for BFS, the surviving core for
+        k-Core); its population share over the pre-iteration metadata is
+        the global estimate of a hub's per-neighbour success probability.
+        The estimate assumes the hub's neighbourhood is not systematically
+        less settled than the rest of the graph - if it ever is, the
+        generic overflow signal still corrects the filter choice within
+        the same iteration, at the cost of the incomplete online pass the
+        pre-arm exists to skip.
+        """
+        if metadata.shape[0] == 0:
+            return 1.0
+        mask = np.asarray(
+            algorithm.gather_mask(metadata, self.graph, None), dtype=bool
+        )
+        return float(mask.mean())
 
     # ------------------------------------------------------------------
     # Functional expansion (Compute + Combine + apply)
@@ -615,6 +1037,220 @@ class SIMDXEngine:
             active_edges=active,
         )
 
+    def _expand_batch_push(
+        self,
+        algorithm: ACCAlgorithm,
+        clones: List[ACCAlgorithm],
+        metadata: np.ndarray,
+        batched: BatchedFrontier,
+        live: List[int],
+    ) -> Tuple[_ExpansionResult, List[np.ndarray], int]:
+        """Batched scatter: walk the union frontier's out-edges once, expand
+        each edge into the lanes whose frontier contains its source.
+
+        Returns the union-level expansion (what the shared task-management
+        pass and the cost model see), the per-lane recorded destinations
+        (what each lane's next frontier derives from), and the total
+        ``(edge, lane)`` pair count. Pairs are assembled lane-major with
+        each lane's edges in union-walk order, which is exactly the edge
+        order of that lane's independent single-source run - so the
+        per-destination combine order, and therefore the metadata, is
+        bit-identical per lane.
+        """
+        graph = self.graph
+        csr = graph.out_csr
+        union = batched.vertices
+        num_workers = int(union.size)
+        empty = np.zeros(0, dtype=np.int64)
+        lane_recorded: List[np.ndarray] = [empty] * batched.num_lanes
+
+        slot, edge_idx, total = self._walk_edges(csr, union)
+        if total == 0:
+            return (
+                _ExpansionResult(empty, empty, empty, empty, num_workers, 0, 0),
+                lane_recorded,
+                0,
+            )
+        src = union[slot]
+        dst = csr.targets[edge_idx].astype(np.int64)
+        weights = csr.weights[edge_idx].astype(np.float64)
+
+        # Every union vertex comes from some live lane's frontier, so each
+        # walked edge belongs to at least one lane: pair_parts is non-empty
+        # whenever total > 0.
+        pair_parts: List[Tuple[int, np.ndarray]] = []
+        for lane in live:
+            lane_edges = np.nonzero(batched.lane_mask(lane)[slot])[0]
+            if lane_edges.size:
+                pair_parts.append((lane, lane_edges))
+        pair_src = np.concatenate([src[idx] for _, idx in pair_parts])
+        pair_dst = np.concatenate([dst[idx] for _, idx in pair_parts])
+        pair_weights = np.concatenate([weights[idx] for _, idx in pair_parts])
+        pair_lane = np.concatenate(
+            [np.full(idx.size, lane, dtype=np.int64) for lane, idx in pair_parts]
+        )
+        lane_pairs = int(pair_src.size)
+
+        updates = algorithm.scatter_edges(
+            metadata[pair_lane, pair_src], pair_weights,
+            metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
+            lanes=pair_lane,
+        )
+        updates = np.asarray(updates, dtype=np.float64)
+
+        # Per-lane tail: hook, NaN filter, Combine + apply on the lane's own
+        # metadata row - the same sequence as _expand_push, per lane.
+        valid_any = np.zeros(total, dtype=bool)
+        offset = 0
+        for lane, lane_edges in pair_parts:
+            begin, offset = offset, offset + lane_edges.size
+            clones[lane].on_frontier_expanded(
+                batched.lane_vertices(lane), metadata[lane]
+            )
+            lane_updates = updates[begin:offset]
+            valid = ~np.isnan(lane_updates)
+            valid_any[lane_edges[valid]] = True
+            if valid.any():
+                lane_dst = pair_dst[begin:offset][valid]
+                self._combine_and_apply(
+                    clones[lane], metadata[lane], lane_updates[valid], lane_dst
+                )
+                lane_recorded[lane] = lane_dst
+
+        union_recorded = np.nonzero(valid_any)[0]
+        return (
+            _ExpansionResult(
+                touched=np.unique(dst[union_recorded]),
+                update_destinations=dst[union_recorded],
+                recorded_destinations=dst[union_recorded],
+                recorded_producers=slot[union_recorded],
+                num_workers=num_workers,
+                edges_expanded=total,
+                active_edges=total,
+            ),
+            lane_recorded,
+            lane_pairs,
+        )
+
+    def _expand_batch_pull(
+        self,
+        algorithm: ACCAlgorithm,
+        clones: List[ACCAlgorithm],
+        metadata: np.ndarray,
+        lane_frontiers: List[np.ndarray],
+        live: List[int],
+        lane_candidates: Dict[int, np.ndarray],
+        union_candidates: np.ndarray,
+        lane_out_edges: Dict[int, int],
+    ) -> Tuple[_ExpansionResult, List[np.ndarray], int]:
+        """Batched gather: walk the in-edges of the union gather worklist
+        once; a lane keeps an in-edge when the destination is in its own
+        gather worklist *and* the source is in its own frontier.
+
+        Per lane the kept edge set and order match the lane's independent
+        forced-pull iteration (candidates sorted, in-CSR row order), which
+        in turn is bit-identical to its push expansion - the engine's
+        push/pull equivalence carried through the lane axis.
+        """
+        graph = self.graph
+        n = graph.num_vertices
+        csr = graph.in_csr
+        empty = np.zeros(0, dtype=np.int64)
+        num_lanes = len(clones)
+        lane_recorded: List[np.ndarray] = [empty] * num_lanes
+
+        def fire_hooks() -> None:
+            # Same condition as the single-run early returns: the lane's
+            # frontier had out-edges to consume, gathered or not.
+            for lane in live:
+                if lane_out_edges.get(lane, 0) > 0:
+                    clones[lane].on_frontier_expanded(
+                        lane_frontiers[lane], metadata[lane]
+                    )
+
+        dst_slot, edge_idx, total = self._walk_edges(csr, union_candidates)
+        if total == 0:
+            fire_hooks()
+            return (
+                _ExpansionResult(empty, empty, empty, empty, 0, 0, 0),
+                lane_recorded,
+                0,
+            )
+        src = csr.targets[edge_idx].astype(np.int64)
+        dst = union_candidates[dst_slot]
+
+        kept_any = np.zeros(total, dtype=bool)
+        pair_parts: List[Tuple[int, np.ndarray]] = []
+        for lane in live:
+            candidates = lane_candidates[lane]
+            if candidates.size == 0 or lane_frontiers[lane].size == 0:
+                continue
+            candidate_rows = np.zeros(union_candidates.size, dtype=bool)
+            candidate_rows[np.searchsorted(union_candidates, candidates)] = True
+            in_frontier = np.zeros(n, dtype=bool)
+            in_frontier[lane_frontiers[lane]] = True
+            keep = candidate_rows[dst_slot] & in_frontier[src]
+            lane_edges = np.nonzero(keep)[0]
+            if lane_edges.size:
+                kept_any[lane_edges] = True
+                pair_parts.append((lane, lane_edges))
+        union_active = int(np.count_nonzero(kept_any))
+        if not pair_parts:
+            fire_hooks()
+            return (
+                _ExpansionResult(empty, empty, empty, empty, 0, total, 0),
+                lane_recorded,
+                0,
+            )
+
+        pair_src = np.concatenate([src[idx] for _, idx in pair_parts])
+        pair_dst = np.concatenate([dst[idx] for _, idx in pair_parts])
+        pair_weights = np.concatenate(
+            [csr.weights[edge_idx[idx]].astype(np.float64) for _, idx in pair_parts]
+        )
+        pair_lane = np.concatenate(
+            [np.full(idx.size, lane, dtype=np.int64) for lane, idx in pair_parts]
+        )
+        lane_pairs = int(pair_src.size)
+
+        updates = algorithm.gather_edges(
+            metadata[pair_lane, pair_src], pair_weights,
+            metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
+            lanes=pair_lane,
+        )
+        updates = np.asarray(updates, dtype=np.float64)
+        fire_hooks()
+
+        valid_any = np.zeros(total, dtype=bool)
+        offset = 0
+        for lane, lane_edges in pair_parts:
+            begin, offset = offset, offset + lane_edges.size
+            lane_updates = updates[begin:offset]
+            valid = ~np.isnan(lane_updates)
+            valid_any[lane_edges[valid]] = True
+            if valid.any():
+                lane_dst = pair_dst[begin:offset][valid]
+                self._combine_and_apply(
+                    clones[lane], metadata[lane], lane_updates[valid], lane_dst
+                )
+                # A gather worker records its own destination once.
+                lane_recorded[lane] = np.unique(lane_dst)
+
+        receivers = np.unique(dst[valid_any])
+        return (
+            _ExpansionResult(
+                touched=receivers,
+                update_destinations=dst[valid_any],
+                recorded_destinations=receivers,
+                recorded_producers=np.arange(receivers.size, dtype=np.int64),
+                num_workers=int(receivers.size),
+                edges_expanded=total,
+                active_edges=union_active,
+            ),
+            lane_recorded,
+            lane_pairs,
+        )
+
     def _combine_and_apply(
         self,
         algorithm: ACCAlgorithm,
@@ -734,6 +1370,7 @@ class SIMDXEngine:
         *,
         atomic_profile=None,
         active_edge_fraction: float = 1.0,
+        extra_lane_pairs: int = 0,
     ) -> Tuple[float, float, Tuple[Kernel, bool]]:
         """Charge the three compute kernels.
 
@@ -742,6 +1379,16 @@ class SIMDXEngine:
         management; the caller hands it to :meth:`_charge_filter` so the
         filter launch shares the phase's fusion state without any
         cross-iteration instance state.
+
+        ``extra_lane_pairs`` is the batched path's lane-axis work: the
+        ``(edge, lane)`` Compute evaluations beyond the one-per-union-edge
+        pass the three stages already price. Each extra pair pays exactly
+        what the single-run model charges an edge beyond its CSR walk: the
+        per-edge compute constant plus one scattered metadata access (the
+        lane's source/destination metadata read; the ACC combine stages
+        updates in shared memory, which is never charged as scattered).
+        The adjacency, offset and worklist traffic is *not* re-paid - that
+        is what ``run_batch`` amortizes across lanes.
         """
         device = self.device
         plan = self.fusion_plan
@@ -798,6 +1445,35 @@ class SIMDXEngine:
                     work=work,
                     num_ctas=num_ctas if vertices.size else 1,
                     fused_continuation=fused_flags[i],
+                )
+            )
+            busy_us += result.busy_us
+            launch_us += result.launch_overhead_us
+
+        if extra_lane_pairs > 0:
+            model = self.config.traffic_model
+            per_pair_ops = (
+                model.push_edge_ops if direction is Direction.PUSH
+                else model.pull_active_edge_ops
+            )
+            lane_kernel = kernels[2]
+            extra_work = WorkEstimate(
+                scattered_transactions=gmem.metadata_scatter_transactions(
+                    extra_lane_pairs
+                ),
+                compute_ops=float(extra_lane_pairs) * per_pair_ops,
+            )
+            result = device.launch(
+                KernelLaunch(
+                    kernel=lane_kernel,
+                    work=extra_work,
+                    num_ctas=max(
+                        1, -(-extra_lane_pairs // lane_kernel.threads_per_cta)
+                    ),
+                    # The lane axis rides the same kernel invocation as the
+                    # union pass (each thread loops over its edge's lane
+                    # bits), so it never pays an extra launch.
+                    fused_continuation=True,
                 )
             )
             busy_us += result.busy_us

@@ -108,6 +108,15 @@ class FilterContext:
         JIT controller compares it against the overflow threshold to decide
         whether bounded bins can be trusted without waiting for the dynamic
         overflow signal.
+    success_rate:
+        Estimated share of this iteration's offers that can still land (a
+        worker records an entry only when its update *changes* a
+        destination). The engine estimates it as the updatable-vertex share
+        before the iteration ran - the unvisited share for BFS, the
+        surviving-core share for k-Core - and the JIT controller scales
+        ``max_producer_records`` by it, so a hub whose neighbourhood is
+        mostly settled no longer pre-arms the ballot filter at a pull->push
+        switch. 1.0 (every offer may succeed) keeps the unscaled bound.
     """
 
     num_vertices: int
@@ -117,6 +126,7 @@ class FilterContext:
     frontier_edges: int
     num_worker_threads: int
     max_producer_records: int = 0
+    success_rate: float = 1.0
 
 
 @dataclass

@@ -23,6 +23,13 @@ simulated thread owns a bin of ``capacity`` slots (the overflow threshold,
 64 by default per Figure 9a) and records the destinations it updated; when
 any bin would exceed its capacity the iteration reports overflow, which is
 the JIT controller's signal to switch to the ballot filter.
+
+For batched multi-source execution (``SIMDXEngine.run_batch``), the
+:class:`BatchedFrontier` carries K concurrent query *lanes* over one graph
+as an ``(active_vertices, lane_bitmask)`` pair: the sorted union of every
+lane's frontier plus, per union vertex, a packed bitmask of the lanes it is
+active in. One CSR walk over the union then serves all K queries; the lane
+bitmask recovers each lane's exact edge subset. See ``docs/batching.md``.
 """
 
 from __future__ import annotations
@@ -245,3 +252,89 @@ def threads_for_frontier(classified: ClassifiedFrontier) -> int:
         + classified.sizes.medium_vertices * THREADS_PER_MEDIUM_TASK
         + classified.sizes.large_vertices * THREADS_PER_LARGE_TASK
     )
+
+
+#: Lanes packed per bitmask word (uint64).
+LANES_PER_WORD = 64
+
+
+@dataclass(frozen=True)
+class BatchedFrontier:
+    """K query lanes over one graph: union frontier + per-vertex lane bits.
+
+    ``vertices`` is the sorted, duplicate-free union of all lanes'
+    frontiers; ``lane_bits`` has one row per union vertex holding a packed
+    uint64 bitmask (``ceil(num_lanes / 64)`` words) of the lanes the vertex
+    is active in. The engine walks the union's CSR rows once per iteration
+    and uses the bitmask to expand each edge only into the lanes whose
+    frontier contains its source - the K-wide amortization behind
+    ``SIMDXEngine.run_batch``.
+
+    Memory cost is ``8 * ceil(K / 64)`` bytes per union vertex on top of the
+    union worklist itself - negligible next to the K metadata rows the
+    batched run keeps (see ``docs/batching.md``).
+    """
+
+    vertices: np.ndarray   # sorted unique union of the lane frontiers, int64
+    lane_bits: np.ndarray  # (vertices.size, num_words) uint64
+    num_lanes: int
+
+    @classmethod
+    def from_lanes(cls, lane_frontiers: List[np.ndarray]) -> "BatchedFrontier":
+        """Build the union + bitmask pair from per-lane frontiers.
+
+        Each per-lane frontier is a 1-D array of vertex ids (duplicates
+        tolerated); an empty array is a lane that has finished or is
+        momentarily inactive.
+        """
+        num_lanes = len(lane_frontiers)
+        if num_lanes == 0:
+            raise ValueError("at least one lane is required")
+        lanes = [
+            np.unique(np.asarray(f, dtype=np.int64)) for f in lane_frontiers
+        ]
+        non_empty = [f for f in lanes if f.size]
+        if not non_empty:
+            vertices = np.zeros(0, dtype=np.int64)
+        else:
+            vertices = np.unique(np.concatenate(non_empty))
+        num_words = -(-num_lanes // LANES_PER_WORD)
+        lane_bits = np.zeros((vertices.size, num_words), dtype=np.uint64)
+        for lane, frontier in enumerate(lanes):
+            if frontier.size == 0:
+                continue
+            rows = np.searchsorted(vertices, frontier)
+            word, bit = divmod(lane, LANES_PER_WORD)
+            lane_bits[rows, word] |= np.uint64(1 << bit)
+        return cls(vertices=vertices, lane_bits=lane_bits, num_lanes=num_lanes)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.vertices.size == 0
+
+    def lane_mask(self, lane: int) -> np.ndarray:
+        """Boolean mask over ``vertices``: which union slots lane holds."""
+        if not (0 <= lane < self.num_lanes):
+            raise IndexError(f"lane {lane} out of range")
+        word, bit = divmod(lane, LANES_PER_WORD)
+        return (self.lane_bits[:, word] >> np.uint64(bit)) & np.uint64(1) == 1
+
+    def lane_vertices(self, lane: int) -> np.ndarray:
+        """The lane's frontier (sorted, unique) recovered from the bitmask."""
+        return self.vertices[self.lane_mask(lane)]
+
+    def lane_sizes(self) -> np.ndarray:
+        """Frontier size per lane."""
+        return np.array(
+            [int(self.lane_mask(k).sum()) for k in range(self.num_lanes)],
+            dtype=np.int64,
+        )
+
+    def total_memberships(self) -> int:
+        """Sum of per-lane frontier sizes (the would-be serial worklist)."""
+        counts = np.zeros(self.vertices.shape[0], dtype=np.int64)
+        bits = self.lane_bits.copy()
+        while bits.any():
+            counts += (bits & np.uint64(1)).sum(axis=1).astype(np.int64)
+            bits >>= np.uint64(1)
+        return int(counts.sum())

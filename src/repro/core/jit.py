@@ -33,14 +33,24 @@ recording workers can observe:
   thread bin can overflow only when one scatter worker may record more
   entries than the bin holds, and the maximum out-degree of the handed-over
   frontier is a static bound on exactly that
-  (``FilterContext.max_producer_records``). When the bound exceeds the
-  overflow threshold the controller starts the iteration directly in ballot
-  mode rather than discovering the overflow through the generic signal and
-  paying an incomplete online pass first; the shadow online filter then
-  switches back as soon as the frontier has genuinely shrunk. On
-  high-diameter road graphs - whose frontiers never contain a
-  super-threshold hub - the bound never trips, so those graphs keep their
-  ballot-free traces (Figure 8).
+  (``FilterContext.max_producer_records``). The raw degree bound is
+  pessimistic, though: a worker records an entry only when its offer
+  *changes* the destination, so the controller scales the bound by the
+  frontier's expected success rate (``FilterContext.success_rate`` - the
+  engine estimates it as the still-updatable vertex share before the
+  iteration, e.g. the unvisited share for BFS). When the scaled bound
+  exceeds the overflow threshold the controller starts the iteration
+  directly in ballot mode rather than discovering the overflow through the
+  generic signal and paying an incomplete online pass first; the shadow
+  online filter then switches back as soon as the frontier has genuinely
+  shrunk. Hub-heavy but mostly-settled frontiers (pull phases typically
+  visit most of the graph before handing back to push) and high-diameter
+  road graphs - whose frontiers never contain a super-threshold hub - never
+  trip the bound, so those runs keep their ballot-free traces (Figure 8).
+  Should the estimate ever prove too optimistic, the generic overflow
+  signal still catches the real overflow within the same iteration (at the
+  cost of the incomplete online pass the pre-arm would have skipped), so
+  the bound affects cost, never correctness.
 
 Every :class:`JITDecision` records the direction that drove it (and whether
 the ballot was pre-armed), so the Figure 8 traces can be read per phase.
@@ -142,11 +152,17 @@ class JITTaskManager:
         if prev_direction is Direction.PULL and not self._use_ballot:
             # Pull->push switch: a bin can overflow only when a single
             # scatter worker may record more entries than its capacity - the
-            # maximum frontier out-degree is that static bound. If the pull
-            # phase handed over a frontier containing such a vertex, start
+            # maximum frontier out-degree is that static bound, scaled by
+            # the expected offer success rate (a worker records only offers
+            # that change their destination; on a mostly-settled graph even
+            # a hub's recordings stay far below its degree). If the pull
+            # phase handed over a frontier expected to overflow a bin, start
             # directly in ballot mode instead of paying an incomplete online
-            # pass to rediscover it dynamically.
-            if ctx.max_producer_records > self.overflow_threshold:
+            # pass to rediscover it dynamically; an underestimate merely
+            # falls back to the overflow protocol below, which still ballots
+            # this same iteration after the wasted online pass.
+            success = min(1.0, max(0.0, ctx.success_rate))
+            if ctx.max_producer_records * success > self.overflow_threshold:
                 self._use_ballot = True
                 pre_armed = True
 

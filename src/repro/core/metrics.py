@@ -48,6 +48,14 @@ class IterationRecord:
     barrier_us: float
     launch_us: float
     active_edges: int = 0
+    #: Batched runs only: total (edge, lane) pairs evaluated this iteration.
+    #: ``frontier_edges`` stays the *union* worklist's edge count - the pairs
+    #: beyond it are the lane-axis work that reused the single CSR walk. A
+    #: serial execution of the same K queries would have walked
+    #: ``lane_edge_pairs`` edges; 0 in single-query runs.
+    lane_edge_pairs: int = 0
+    #: Batched runs only: lanes with a non-empty frontier this iteration.
+    active_lanes: int = 0
 
     @property
     def total_us(self) -> float:
@@ -119,6 +127,94 @@ class RunResult:
             system=system,
             algorithm=algorithm,
             graph=graph,
+            values=None,
+            elapsed_us=float("inf"),
+            iterations=0,
+            device=device,
+            failed=True,
+            failure_reason=reason,
+        )
+
+
+@dataclass
+class BatchRunResult:
+    """Outcome of one batched multi-source execution (``run_batch``).
+
+    One row per query lane: ``metadata[k]`` is lane k's final metadata
+    (bit-identical to the single-source run from ``sources[k]``) and
+    ``values[k]`` its user-facing result. ``iterations`` counts the batch's
+    BSP iterations (the longest lane); ``lane_iterations[k]`` the
+    iterations lane k was live.
+
+    For algorithms whose active vertices are always among this iteration's
+    *updated* vertices (BFS, default SSSP - every shipped
+    ``supports_multi_source`` configuration), lanes evolve in lockstep
+    with their independent runs, so ``lane_iterations[k]`` equals the
+    single-source iteration count. Delta-stepping SSSP is the exception:
+    its active mask can re-admit vertices left pending in earlier buckets,
+    which makes even a *single* run's iteration trajectory depend on the
+    filter each iteration happens to use (the ballot worklist carries
+    those pending vertices, the online worklist only this iteration's
+    recordings) - so a batch, which makes one union filter decision, may
+    reach the same final metadata in a different number of iterations.
+    """
+
+    system: str
+    algorithm: str
+    graph: str
+    sources: List[int]
+    metadata: Optional[np.ndarray]      # (num_lanes, num_vertices)
+    values: Optional[np.ndarray]        # (num_lanes, num_vertices)
+    elapsed_us: float
+    iterations: int
+    lane_iterations: List[int] = field(default_factory=list)
+    device: str = ""
+    failed: bool = False
+    failure_reason: str = ""
+    kernel_launches: int = 0
+    filter_trace: List[str] = field(default_factory=list)
+    direction_trace: List[str] = field(default_factory=list)
+    iteration_records: List[IterationRecord] = field(default_factory=list)
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.sources)
+
+    @property
+    def elapsed_ms(self) -> float:
+        return self.elapsed_us / 1000.0
+
+    @property
+    def queries_per_second(self) -> float:
+        """Simulated throughput: answered queries per simulated second."""
+        if self.failed or self.elapsed_us == 0:
+            return float("nan")
+        return self.num_lanes / (self.elapsed_us / 1e6)
+
+    def lane_values(self, lane: int) -> np.ndarray:
+        """User-facing result of one query lane."""
+        if self.values is None:
+            raise ValueError("failed batch run has no values")
+        return self.values[lane]
+
+    @classmethod
+    def failure(
+        cls,
+        system: str,
+        algorithm: str,
+        graph: str,
+        sources: List[int],
+        reason: str,
+        *,
+        device: str = "",
+    ) -> "BatchRunResult":
+        return cls(
+            system=system,
+            algorithm=algorithm,
+            graph=graph,
+            sources=list(sources),
+            metadata=None,
             values=None,
             elapsed_us=float("inf"),
             iterations=0,
@@ -214,6 +310,19 @@ def direction_summary(records: List[IterationRecord]) -> Dict[str, Dict[str, flo
     return out
 
 
+#: Condition-number bound above which the two-parameter pull fit is treated
+#: as collinear (see :func:`calibrate_pull_constants`). For a two-column
+#: design normalized to unit columns the condition number is
+#: ``sqrt((1 + cos θ) / (1 - cos θ))`` with θ the angle between the
+#: regressors: healthy fits (active fraction swinging across iterations,
+#: BFS/SSSP-style) land around 5-30, WCC-style matrices whose gathers keep
+#: 98-100% of edges active land in the hundreds, and the exactly-singular
+#: case at ~1e16. Above 100 the fit amplifies model-mismatch residuals by
+#: two orders of magnitude, which is where the recovered constants stop
+#: being interpretable as costs.
+COLLINEARITY_LIMIT = 100.0
+
+
 def calibrate_pull_constants(
     push_records: List[IterationRecord],
     pull_records: List[IterationRecord],
@@ -237,6 +346,17 @@ def calibrate_pull_constants(
     are collinear: the fit then reports the combined per-scanned-edge cost
     as ``fitted_scan_us_per_edge`` and NaN for the active term, with
     ``fit_rank`` = 1 flagging the degeneracy.
+
+    *Near*-collinear matrices (WCC-style: gathers keep almost every edge
+    active, so ``active ≈ scanned`` with only tiny variation) pass the
+    exact-rank test but leave the two-parameter fit ill-conditioned - the
+    least-squares solution then amplifies timing noise into huge
+    positive/negative coefficient pairs that cancel. The fit therefore
+    degrades to the same combined-cost fallback whenever the (column-
+    normalized) design's condition number exceeds ``COLLINEARITY_LIMIT`` or
+    either fitted cost comes out negative (cost constants are physically
+    non-negative). ``fit_condition`` reports the measured condition number;
+    ``fit_rank`` is 1 whenever the fallback was taken.
     """
     push_edges = sum(r.frontier_edges for r in push_records)
     push_compute = sum(r.compute_us for r in push_records)
@@ -249,6 +369,7 @@ def calibrate_pull_constants(
 
     c_scan = c_active = float("nan")
     rank = 0
+    condition = float("nan")
     if pull_rows:
         design = np.array(
             [[r.frontier_edges, r.active_edges] for r in pull_rows],
@@ -256,12 +377,29 @@ def calibrate_pull_constants(
         )
         target = np.array([r.compute_us for r in pull_rows], dtype=np.float64)
         rank = int(np.linalg.matrix_rank(design))
-        if rank >= 2:
+        # Condition number of the column-normalized design: scale-free, so
+        # it measures only how close the two regressors are to collinear.
+        norms = np.linalg.norm(design, axis=0)
+        if np.all(norms > 0):
+            singular = np.linalg.svd(design / norms, compute_uv=False)
+            condition = (
+                float(singular[0] / singular[-1])
+                if singular[-1] > 0 else float("inf")
+            )
+        if rank >= 2 and condition <= COLLINEARITY_LIMIT:
             coeffs, *_ = np.linalg.lstsq(design, target, rcond=None)
             c_scan, c_active = float(coeffs[0]), float(coeffs[1])
+            if c_scan < 0 or c_active < 0:
+                # Noise-amplified cancelling pair: not a usable calibration.
+                c_scan = c_active = float("nan")
+                rank = 1
         else:
-            # Collinear regressors: report the combined per-scanned-edge cost.
+            rank = min(rank, 1)
+        if rank < 2:
+            # (Near-)collinear regressors: report the combined
+            # per-scanned-edge cost instead of a meaningless split.
             c_scan = pull_compute / scanned if scanned else float("nan")
+            c_active = float("nan")
 
     def _ratio(value: float) -> float:
         if not (np.isfinite(value) and np.isfinite(c_push) and c_push):
@@ -279,6 +417,7 @@ def calibrate_pull_constants(
         "pull_scan_over_push_edge": _ratio(c_scan),
         "pull_active_over_push_edge": _ratio(c_active),
         "fit_rank": float(rank),
+        "fit_condition": condition,
     }
 
 

@@ -1,0 +1,250 @@
+"""Batched multi-source execution equals K independent runs, bit for bit.
+
+``SIMDXEngine.run_batch`` answers K queries through one union-frontier CSR
+walk per iteration (docs/batching.md); these tests pin its contract:
+
+* per-lane values and metadata are bit-identical to the K single-source
+  runs, for BFS and SSSP, under auto, forced-push and forced-pull
+  direction selection;
+* lanes evolve in lockstep with their independent runs (per-lane iteration
+  counts match), including a lane that finishes early and K=1 - for
+  delta-stepping SSSP, whose single-run trajectory is itself
+  filter-dependent, only value equality is guaranteed and asserted;
+* each iteration walks the CSR exactly once, over the union worklist -
+  the amortization the batching exists for;
+* the :class:`~repro.core.frontier.BatchedFrontier` lane bitmask
+  round-trips per-lane frontiers through the union representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP, PageRank
+from repro.core.direction import Direction
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.core.frontier import BatchedFrontier
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+
+CONFIGS = {
+    "auto": EngineConfig(),
+    "forced_push": EngineConfig(
+        direction_auto=False, forced_direction=Direction.PUSH
+    ),
+    "forced_pull": EngineConfig(
+        direction_auto=False, forced_direction=Direction.PULL
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def graph() -> CSRGraph:
+    return gen.rmat_graph(9, 8, seed=7, name="rmat9")
+
+
+@pytest.fixture(scope="module")
+def sources(graph) -> list:
+    degrees = graph.out_degrees()
+    return [int(v) for v in np.argsort(degrees, kind="stable")[::-1][:16]]
+
+
+def _single_runs(graph, algorithm_cls, sources, config):
+    results = []
+    for source in sources:
+        engine = SIMDXEngine(graph, config=config)
+        results.append(engine.run(algorithm_cls(source=source)))
+    return results
+
+
+class TestBatchedFrontier:
+    def test_union_and_bitmask_roundtrip(self):
+        lanes = [
+            np.array([3, 1, 7], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([7, 7, 2], dtype=np.int64),
+        ]
+        bf = BatchedFrontier.from_lanes(lanes)
+        assert np.array_equal(bf.vertices, [1, 2, 3, 7])
+        assert np.array_equal(bf.lane_vertices(0), [1, 3, 7])
+        assert bf.lane_vertices(1).size == 0
+        assert np.array_equal(bf.lane_vertices(2), [2, 7])
+        assert np.array_equal(bf.lane_sizes(), [3, 0, 2])
+        assert bf.total_memberships() == 5
+        assert not bf.is_empty
+
+    def test_many_lanes_cross_word_boundary(self):
+        # 70 lanes forces a second uint64 bitmask word.
+        lanes = [np.array([lane % 5], dtype=np.int64) for lane in range(70)]
+        bf = BatchedFrontier.from_lanes(lanes)
+        assert bf.lane_bits.shape == (5, 2)
+        for lane in range(70):
+            assert np.array_equal(bf.lane_vertices(lane), [lane % 5])
+        assert bf.total_memberships() == 70
+
+    def test_empty_everywhere(self):
+        bf = BatchedFrontier.from_lanes([np.zeros(0, dtype=np.int64)] * 3)
+        assert bf.is_empty
+        assert bf.vertices.size == 0
+
+
+class TestBitIdenticalEquivalence:
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    @pytest.mark.parametrize("algorithm_cls", [BFS, SSSP])
+    def test_batch_matches_independent_runs(
+        self, graph, sources, algorithm_cls, config_name
+    ):
+        config = CONFIGS[config_name]
+        batch = SIMDXEngine(graph, config=config).run_batch(
+            algorithm_cls(), sources
+        )
+        assert not batch.failed, batch.failure_reason
+        assert batch.num_lanes == len(sources)
+        singles = _single_runs(graph, algorithm_cls, sources, config)
+        for lane, single in enumerate(singles):
+            assert np.array_equal(batch.values[lane], single.values), (
+                f"lane {lane} (source {sources[lane]}) diverged"
+            )
+            # Lanes evolve in lockstep with their independent runs.
+            assert batch.lane_iterations[lane] == single.iterations
+        assert batch.iterations == max(s.iterations for s in singles)
+
+    def test_sssp_metadata_rows_are_bit_identical(self, graph, sources):
+        # SSSP's vertex_value is the identity, so comparing the raw metadata
+        # rows checks bit-level float equality of the accumulated sums.
+        batch = SIMDXEngine(graph).run_batch(SSSP(), sources)
+        for lane, source in enumerate(sources):
+            single = SIMDXEngine(graph).run(SSSP(source=source))
+            assert np.array_equal(batch.metadata[lane], single.values)
+
+    def test_k_equals_one_matches_single_run(self, graph, sources):
+        source = sources[0]
+        batch = SIMDXEngine(graph).run_batch(BFS(), [source])
+        single = SIMDXEngine(graph).run(BFS(source=source))
+        assert np.array_equal(batch.values[0], single.values)
+        assert batch.iterations == single.iterations
+        # With one lane there is no lane-axis work beyond the union pass:
+        # every (edge, lane) pair is one of the union's active edges (in
+        # pull iterations the walk additionally scans non-frontier
+        # in-edges, which produce no pairs).
+        assert batch.extra["lane_edge_pairs"] == sum(
+            r.active_edges for r in batch.iteration_records
+        )
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_delta_stepping_sssp_values_identical(
+        self, graph, sources, config_name
+    ):
+        # Exercises the stateful per-lane hooks (pending set, bucket
+        # advance, convergence re-seed) through per-lane algorithm copies.
+        # Delta-stepping guarantees bit-identical *values*, not iteration
+        # counts: even a single run's trajectory depends on which filter
+        # the JIT picks (the ballot worklist re-admits vertices pending
+        # from earlier buckets, the online worklist does not), so a batch
+        # making one union filter decision may converge in a different
+        # number of iterations (see BatchRunResult's docstring).
+        config = CONFIGS[config_name]
+        few = sources[:4]
+        batch = SIMDXEngine(graph, config=config).run_batch(
+            SSSP(delta=10.0), few
+        )
+        assert not batch.failed
+        for lane, source in enumerate(few):
+            single = SIMDXEngine(graph, config=config).run(
+                SSSP(source=source, delta=10.0)
+            )
+            assert np.array_equal(batch.values[lane], single.values)
+
+
+class TestEarlyFinishingLane:
+    def _two_component_graph(self) -> CSRGraph:
+        # A 12-vertex chain (long query) and a separate 2-vertex component
+        # (the lane that finishes after its first expansions).
+        edges = [(i, i + 1) for i in range(11)]
+        edges.append((20, 21))
+        return CSRGraph.from_edges(
+            22, np.asarray(edges, dtype=np.int64), directed=True, name="chain+pair"
+        )
+
+    def test_early_lane_freezes_and_stays_identical(self):
+        graph = self._two_component_graph()
+        sources = [0, 20]
+        batch = SIMDXEngine(graph).run_batch(BFS(), sources)
+        chain = SIMDXEngine(graph).run(BFS(source=0))
+        pair = SIMDXEngine(graph).run(BFS(source=20))
+        assert np.array_equal(batch.values[0], chain.values)
+        assert np.array_equal(batch.values[1], pair.values)
+        assert batch.lane_iterations[0] == chain.iterations
+        assert batch.lane_iterations[1] == pair.iterations
+        assert batch.lane_iterations[1] < batch.lane_iterations[0]
+        assert batch.iterations == chain.iterations
+
+
+class TestUnionWalkAmortization:
+    def test_one_csr_walk_per_iteration_over_the_union(
+        self, graph, sources, monkeypatch
+    ):
+        calls = []
+        original = SIMDXEngine._walk_edges
+
+        def counting_walk(csr, worklist):
+            result = original(csr, worklist)
+            calls.append(result[2])
+            return result
+
+        monkeypatch.setattr(
+            SIMDXEngine, "_walk_edges", staticmethod(counting_walk)
+        )
+        config = CONFIGS["forced_push"]
+        batch = SIMDXEngine(graph, config=config).run_batch(BFS(), sources)
+        # Exactly one CSR walk per iteration, each over the union worklist.
+        assert len(calls) == batch.iterations
+        assert sum(calls) == batch.extra["union_edges_walked"]
+        # The union walk is the amortization: K overlapping frontiers
+        # produce far more (edge, lane) pairs than union edges.
+        assert batch.extra["lane_edge_pairs"] > batch.extra["union_edges_walked"]
+
+    def test_union_walk_cheaper_than_serial_walks(self, graph, sources):
+        config = CONFIGS["forced_push"]
+        batch = SIMDXEngine(graph, config=config).run_batch(BFS(), sources)
+        serial_edges = 0
+        for source in sources:
+            single = SIMDXEngine(graph, config=config).run(BFS(source=source))
+            serial_edges += sum(
+                r.frontier_edges for r in single.iteration_records
+            )
+        # The pairs the batch evaluates are exactly the edges the serial
+        # loop would walk; the batch walks only the union of them.
+        assert batch.extra["lane_edge_pairs"] == serial_edges
+        assert batch.extra["union_edges_walked"] < serial_edges
+
+
+class TestBatchAPI:
+    def test_rejects_algorithms_without_multi_source(self, graph):
+        with pytest.raises(ValueError, match="multi-source"):
+            SIMDXEngine(graph).run_batch(PageRank(), [0, 1])
+
+    def test_rejects_empty_source_list(self, graph):
+        with pytest.raises(ValueError, match="at least one source"):
+            SIMDXEngine(graph).run_batch(BFS(), [])
+
+    def test_atomic_combine_ablation_is_priced(self, graph, sources):
+        # The Figure-5 ablation must affect batched runs too: identical
+        # values, higher simulated cost under atomic pricing.
+        acc = SIMDXEngine(graph).run_batch(BFS(), sources)
+        atomic = SIMDXEngine(
+            graph, config=EngineConfig(atomic_combine=True)
+        ).run_batch(BFS(), sources)
+        assert np.array_equal(acc.values, atomic.values)
+        assert atomic.elapsed_us > acc.elapsed_us
+
+    def test_queries_per_second_reported(self, graph, sources):
+        batch = SIMDXEngine(graph).run_batch(BFS(), sources)
+        assert batch.queries_per_second > 0
+        assert batch.elapsed_ms > 0
+        assert len(batch.filter_trace) == batch.iterations
+        assert len(batch.direction_trace) == batch.iterations
+        for record in batch.iteration_records:
+            assert record.active_lanes >= 1
+            assert record.lane_edge_pairs >= record.active_edges

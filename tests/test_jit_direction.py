@@ -28,6 +28,7 @@ def make_ctx(
     active=(3, 5, 7),
     num_threads: int = 4,
     max_producer_records: int = 0,
+    success_rate: float = 1.0,
 ) -> FilterContext:
     updated = np.asarray(updated, dtype=np.int64)
     active_mask = np.zeros(num_vertices, dtype=bool)
@@ -41,6 +42,7 @@ def make_ctx(
         frontier_edges=50,
         num_worker_threads=num_threads,
         max_producer_records=max_producer_records,
+        success_rate=success_rate,
     )
 
 
@@ -119,6 +121,49 @@ class TestControllerUnit:
         )
         assert jit.decisions[-1].filter_used == "online"
         assert not jit.decisions[-1].pre_armed
+
+    def test_low_success_rate_sharpens_the_pre_arm_bound(self):
+        # A hub with out-degree 10 would overflow 4-entry bins if every
+        # offer landed, but at a 20% success rate it records ~2 entries:
+        # the sharpened bound keeps the online filter.
+        jit = JITTaskManager(overflow_threshold=4)
+        jit.build(pull_ctx(), 1, direction=Direction.PULL)
+        jit.build(
+            make_ctx(updated=(1, 2), max_producer_records=10, success_rate=0.2),
+            2, direction=Direction.PUSH,
+        )
+        assert jit.decisions[-1].filter_used == "online"
+        assert not jit.decisions[-1].pre_armed
+
+    def test_high_success_rate_still_pre_arms(self):
+        jit = JITTaskManager(overflow_threshold=4)
+        jit.build(pull_ctx(), 1, direction=Direction.PULL)
+        jit.build(
+            make_ctx(updated=(1, 2), max_producer_records=10, success_rate=0.9),
+            2, direction=Direction.PUSH,
+        )
+        decision = jit.decisions[-1]
+        assert decision.filter_used == "ballot"
+        assert decision.pre_armed
+
+    def test_underestimated_success_rate_defers_to_overflow_signal(self):
+        # The sharpened bound can only cost one incomplete online pass,
+        # never correctness: if the offers succeed anyway, the generic
+        # overflow signal still switches to ballot in the same iteration.
+        jit = JITTaskManager(overflow_threshold=4)
+        jit.build(pull_ctx(), 1, direction=Direction.PULL)
+        result = jit.build(
+            make_ctx(
+                updated=tuple(range(50)), num_threads=1,
+                max_producer_records=50, success_rate=0.01,
+            ),
+            2, direction=Direction.PUSH,
+        )
+        decision = jit.decisions[-1]
+        assert decision.filter_used == "ballot"
+        assert not decision.pre_armed
+        assert decision.overflowed
+        assert result.is_sorted
 
     def test_pre_armed_ballot_releases_once_frontier_shrinks(self):
         jit = JITTaskManager(overflow_threshold=4)
@@ -216,7 +261,63 @@ class TestEngineIntegration:
         assert boundary[1] == "ballot"
         # The ballot was pre-armed at the switch, not reached through the
         # incomplete-online overflow fallback (iterations are 1-based).
+        # (The unreachable ballast keeps the unvisited share ~94%, so the
+        # success-rate-scaled bound 70 * 0.94 still exceeds 64.)
         assert switches[0] + 1 in result.extra["jit_pre_armed_iterations"]
+
+    def _settled_handover_hub(self) -> CSRGraph:
+        """A pull->push handover hub on a mostly-*visited* graph.
+
+        ``source`` reaches 10000 ballast leaves and 600 spreaders at level
+        1; the spreaders reach both the hub and all 70 of the hub's leaves
+        at level 2. When the frontier shrinks to the hub (+ leaves, which
+        have no out-edges) and hands back to push, the hub's out-degree
+        (70) still exceeds the overflow threshold - but everything is
+        already visited, so the success-rate-scaled bound is ~0 and the
+        degree-only bound's pre-arm would have been a wasted O(|V|) scan
+        (the hub records nothing).
+        """
+        num_spreaders, num_leaves, ballast = 600, 70, 10_000
+        source = 0
+        spreaders = range(1, 1 + num_spreaders)
+        hub = 1 + num_spreaders
+        leaves = range(hub + 1, hub + 1 + num_leaves)
+        ballast_base = hub + 1 + num_leaves
+        edges = [(source, s) for s in spreaders]
+        edges += [(source, ballast_base + i) for i in range(ballast)]
+        edges += [(s, hub) for s in spreaders]
+        edges += [
+            (s, hub + 1 + (i % num_leaves)) for i, s in enumerate(spreaders)
+        ]
+        edges += [(hub, leaf) for leaf in leaves]
+        n = ballast_base + ballast
+        return CSRGraph.from_edges(
+            n, np.asarray(edges, dtype=np.int64), directed=True,
+            name="settled_handover",
+        )
+
+    def test_settled_frontier_does_not_pre_arm(self):
+        graph = self._settled_handover_hub()
+        result = SIMDXEngine(graph).run(BFS(source=0))
+        assert not result.failed
+        trace = list(zip(result.direction_trace, result.filter_trace))
+        switches = [
+            i for i in range(1, len(trace))
+            if trace[i - 1][0] == "pull" and trace[i][0] == "push"
+        ]
+        assert switches, trace
+        # The handed-over frontier still contains a super-threshold hub...
+        hub = 601
+        assert graph.out_degrees()[hub] > 64
+        # ...but the mostly-settled graph keeps the sharpened bound below
+        # the threshold: no pre-arm, and the online bins cope fine (the
+        # hub's offers all fail, so nothing is recorded).
+        assert result.extra["jit_pre_armed_iterations"] == []
+        boundary = trace[switches[0]]
+        assert boundary[1] == "online"
+        assert not any(
+            record.filter_overflowed for record in result.iteration_records
+        )
 
 
 class TestGatherRefinement:
