@@ -781,6 +781,96 @@ def batching_throughput(
     return {"rows": rows}
 
 
+# ----------------------------------------------------------------------
+# Lane-aware direction selection: split benefit vs decide-once batching
+# ----------------------------------------------------------------------
+#: Graph shapes where union and lane direction interests diverge: the road
+#: analogues (high diameter, frontiers that never individually cross the
+#: pull threshold) and the RMAT-family synthetics (skewed but with long
+#: barely-pruned SSSP gather tails).
+SPLIT_BENEFIT_SHAPES = ("ER", "RC", "KR", "RM")
+
+
+def split_benefit(
+    ctx: BenchmarkContext,
+    lane_counts: Sequence[int] = (4, 16),
+    algorithms: Sequence[str] = ("sssp", "bfs"),
+    graphs: Optional[Sequence[str]] = None,
+) -> Dict:
+    """Lane-aware direction selection vs decide-once (union) batching.
+
+    For each (algorithm, graph, K) cell this answers the same K queries
+    twice - once with ``EngineConfig.lane_aware_split`` (the default) and
+    once with the PR-3 decide-once union approximation - verifies the two
+    are bit-identical, and compares the scanned-in-edge totals
+    (``extra["pull_edges_scanned"]``), the overall walked edges and the
+    simulated time. The scanned-edge gap is the cost the union
+    approximation pays when it crosses the pull threshold before any
+    single lane would (road shapes, barely-pruned SSSP gathers); the
+    split/agreed per-lane decisions close it. The time column shows the
+    other side of the trade: each extra sub-batch pays its own launches,
+    barriers and task-management pass, and on voting combines (BFS) the
+    union's shared gather scan is cheap per edge - which is exactly what
+    ``EngineConfig.split_margin`` arbitrates.
+    """
+    if graphs is None:
+        graphs = [g for g in ctx.datasets if g in SPLIT_BENEFIT_SHAPES]
+        if not graphs:
+            graphs = list(ctx.datasets)
+    rows: List[Dict] = []
+    for algorithm_name in algorithms:
+        for abbrev in graphs:
+            graph = ctx.graph(abbrev)
+            for k in lane_counts:
+                if k > graph.num_vertices:
+                    continue
+                sources = default_sources(graph, k)
+                results = {}
+                for mode, config in (
+                    ("lane_aware", EngineConfig()),
+                    ("decide_once", EngineConfig(lane_aware_split=False)),
+                ):
+                    engine = SIMDXEngine(
+                        graph, device=GPUDevice(ctx.device_spec), config=config
+                    )
+                    results[mode] = engine.run_batch(
+                        make_algorithm(algorithm_name, graph), sources
+                    )
+                on, off = results["lane_aware"], results["decide_once"]
+                if on.failed or off.failed:
+                    rows.append(
+                        {
+                            "algorithm": algorithm_name,
+                            "graph": abbrev,
+                            "lanes": k,
+                            "failed": True,
+                            "failure_reason": (
+                                on.failure_reason or off.failure_reason
+                            ),
+                        }
+                    )
+                    continue
+                rows.append(
+                    {
+                        "algorithm": algorithm_name,
+                        "graph": abbrev,
+                        "lanes": k,
+                        "failed": False,
+                        "scanned_lane_aware": on.extra["pull_edges_scanned"],
+                        "scanned_decide_once": off.extra["pull_edges_scanned"],
+                        "walked_lane_aware": on.extra["union_edges_walked"],
+                        "walked_decide_once": off.extra["union_edges_walked"],
+                        "ms_lane_aware": on.elapsed_ms,
+                        "ms_decide_once": off.elapsed_ms,
+                        "split_iterations": on.extra["lane_splits"],
+                        "values_identical": bool(
+                            np.array_equal(on.values, off.values)
+                        ),
+                    }
+                )
+    return {"rows": rows}
+
+
 def generate_experiments_md(
     path: str = "EXPERIMENTS.md",
     *,
@@ -799,8 +889,10 @@ def generate_experiments_md(
     timings = phase_timings(ctx)
     refinement = gather_refinement(ctx)
     batching = batching_throughput(ctx)
+    split = split_benefit(ctx)
     text = render_experiments_md(
-        timings, refinement, batching=batching, scale=scale, datasets=datasets
+        timings, refinement, batching=batching, split=split,
+        scale=scale, datasets=datasets,
     )
     with open(path, "w") as handle:
         handle.write(text)

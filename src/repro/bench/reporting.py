@@ -256,6 +256,7 @@ def render_experiments_md(
     refinement: Dict,
     *,
     batching: Optional[Dict] = None,
+    split: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -264,10 +265,11 @@ def render_experiments_md(
     ``timings`` is :func:`repro.bench.experiments.phase_timings` output,
     ``refinement`` is :func:`repro.bench.experiments.gather_refinement`
     output, ``batching`` (optional) is
-    :func:`repro.bench.experiments.batching_throughput` output. The
-    document is deterministic for a fixed (scale, datasets) configuration,
-    so future PRs can diff their regenerated copy against the committed
-    baseline.
+    :func:`repro.bench.experiments.batching_throughput` output and
+    ``split`` (optional) is :func:`repro.bench.experiments.split_benefit`
+    output. The document is deterministic for a fixed (scale, datasets)
+    configuration, so future PRs can diff their regenerated copy against
+    the committed baseline.
     """
     parts: List[str] = []
     parts.append("# EXPERIMENTS — measured baselines")
@@ -462,6 +464,49 @@ def render_experiments_md(
                          "yes" if r["values_identical"] else "NO")
                     )
                     for r in batching["rows"]
+                ],
+            )
+        )
+
+    if split is not None and split["rows"]:
+        parts.append("\n## 6. Lane-aware direction selection: split benefit\n")
+        parts.append(
+            "The same K queries answered with lane-aware direction "
+            "selection (`EngineConfig.lane_aware_split`, the default - "
+            "every lane's own frontier is scored with the traffic model "
+            "and the batch splits into push-leaning and pull-leaning "
+            "sub-batches when lane interests diverge past `split_margin`) "
+            "versus the decide-once union approximation of PR 3. Values "
+            "are bit-identical in every cell. `scanned` counts gather "
+            "(in-CSR) edges - the quantity the union approximation "
+            "over-pays when it crosses the pull threshold before any "
+            "single lane would. The `ms` columns show the other side of "
+            "the trade: per-sub-batch fixed costs, and the cheap shared "
+            "scan of voting gathers, can make the decide-once batch "
+            "faster in simulated time even while it scans more - "
+            "`split_margin` is the knob that arbitrates (see "
+            "docs/batching.md, \"When splitting wins\").\n"
+        )
+        parts.append(
+            _md_table(
+                ["algorithm", "graph", "K", "scanned (lane-aware)",
+                 "scanned (decide-once)", "walked (lane-aware)",
+                 "walked (decide-once)", "lane-aware ms", "decide-once ms",
+                 "splits", "identical"],
+                [
+                    (
+                        (r["algorithm"], r["graph"], r["lanes"], "OOM",
+                         None, None, None, None, None, None, None)
+                        if r["failed"] else
+                        (r["algorithm"], r["graph"], r["lanes"],
+                         r["scanned_lane_aware"], r["scanned_decide_once"],
+                         r["walked_lane_aware"], r["walked_decide_once"],
+                         round(r["ms_lane_aware"], 3),
+                         round(r["ms_decide_once"], 3),
+                         r["split_iterations"],
+                         "yes" if r["values_identical"] else "NO")
+                    )
+                    for r in split["rows"]
                 ],
             )
         )

@@ -41,15 +41,17 @@ from __future__ import annotations
 import copy
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.acc import ACCAlgorithm, CombineKind
 from repro.core.direction import (
+    BatchDirectionPolicy,
     DEFAULT_TRAFFIC_MODEL,
     Direction,
     DirectionSelector,
+    SubBatchPlan,
     TrafficModel,
 )
 from repro.core.filters import (
@@ -100,7 +102,35 @@ class EngineConfig:
     #: (``None`` falls back to the algorithm's starting direction). Useful
     #: for forcing a pure scatter or pure gather execution.
     forced_direction: Optional[Direction] = None
+    #: With ``direction_auto=False``: explicit per-iteration directions
+    #: (iteration i runs ``schedule[min(i - 1, len - 1)]``, i.e. the last
+    #: entry repeats). Used by the calibration sweep and the differential
+    #: fuzz harness to pin arbitrary push/pull schedules; mutually exclusive
+    #: with ``forced_direction``.
+    forced_direction_schedule: Optional[Sequence[Direction]] = None
     max_iterations: Optional[int] = None
+    #: Batched runs (``run_batch``) only: score every lane's own frontier
+    #: with the traffic model each iteration and, when lane interests
+    #: diverge from the union decision past ``split_margin``, split the
+    #: batch into a push-leaning and a pull-leaning sub-batch that each
+    #: walk the CSR (or in-CSR) with their own frontier view, JIT filter
+    #: state and pre-arm bound (docs/batching.md, "Lane-aware direction
+    #: selection"). Off = PR-3 behaviour: one union decision per iteration.
+    lane_aware_split: bool = True
+    #: Minimum modelled compute-op saving, as a fraction of the decide-once
+    #: cost, before a diverging batch actually splits - the knob that
+    #: absorbs the per-sub-batch fixed costs (each sub-batch pays its own
+    #: kernel launches, barriers and task-management pass).
+    split_margin: float = 0.5
+    #: Test/harness hook: ``split_schedule(iteration, live_lanes)`` may
+    #: return an explicit list of ``(direction, lanes)`` sub-batches for
+    #: that iteration (a partition of ``live_lanes``), or ``None`` to fall
+    #: through to the automatic policy. Per-lane results are bit-identical
+    #: under *every* schedule - the differential fuzz harness drives random
+    #: schedules through this hook to prove it.
+    split_schedule: Optional[
+        Callable[[int, List[int]], Optional[List[Tuple[Direction, List[int]]]]]
+    ] = None
     shadow_online: bool = True
     #: When True, the Combine step is priced as Gunrock prices it - direct
     #: atomic updates to vertex state instead of the ACC model's shared-memory
@@ -118,6 +148,20 @@ class EngineConfig:
                 "forced_direction requires direction_auto=False; with "
                 "direction_auto=True the selector would silently ignore it"
             )
+        if self.forced_direction_schedule is not None:
+            if self.direction_auto:
+                raise ValueError(
+                    "forced_direction_schedule requires direction_auto=False"
+                )
+            if self.forced_direction is not None:
+                raise ValueError(
+                    "forced_direction and forced_direction_schedule are "
+                    "mutually exclusive"
+                )
+            if not self.forced_direction_schedule:
+                raise ValueError("forced_direction_schedule must be non-empty")
+        if self.split_margin < 0:
+            raise ValueError("split_margin must be non-negative")
 
 
 @dataclass
@@ -181,6 +225,14 @@ class SIMDXEngine:
             )
         return self._pull_classifier
 
+    def _forced_direction(self, iteration: int, start: Direction) -> Direction:
+        """Direction of iteration ``iteration`` under a manual configuration."""
+        cfg = self.config
+        if cfg.forced_direction_schedule is not None:
+            schedule = cfg.forced_direction_schedule
+            return schedule[min(iteration - 1, len(schedule) - 1)]
+        return cfg.forced_direction or start
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -227,7 +279,11 @@ class SIMDXEngine:
         return result
 
     def run_batch(
-        self, algorithm: ACCAlgorithm, sources: Sequence[int], **params
+        self,
+        algorithm: ACCAlgorithm,
+        sources: Sequence[int],
+        lane_params: Optional[Sequence[Mapping[str, object]]] = None,
+        **params,
     ) -> BatchRunResult:
         """Answer K queries of ``algorithm`` (one per source) in one run.
 
@@ -237,17 +293,32 @@ class SIMDXEngine:
         metadata is bit-identical per lane (for delta-stepping SSSP the
         lockstep is per-value, not per-iteration - see
         :class:`~repro.core.metrics.BatchRunResult`) - but every iteration
-        walks the CSR once over the *union* of the lane frontiers
+        walks the CSR over the *union* of the lane frontiers
         (:class:`~repro.core.frontier.BatchedFrontier`) and expands each
         union edge only into the lanes whose frontier contains its source.
-        Direction selection and the task-management (JIT) filter run once
-        per iteration on the union worklist; ``docs/batching.md`` documents
-        that approximation and when the amortization wins.
+
+        Direction selection is *lane-aware* by default
+        (``EngineConfig.lane_aware_split``): each iteration every lane's
+        own frontier is scored with the traffic model and the batch splits
+        into a push-leaning and a pull-leaning sub-batch when lane
+        interests diverge past ``split_margin`` - each sub-batch walks the
+        CSR (or in-CSR) with its own frontier view, JIT filter state and
+        pre-arm bound, and lanes re-merge when their decisions reconverge.
+        With ``lane_aware_split=False`` direction and the task-management
+        filter are decided once on the union (the PR-3 cost-only
+        approximation); ``docs/batching.md`` documents both regimes.
 
         ``algorithm`` must set ``supports_multi_source`` (its ``init`` takes
         a per-query ``source``); the instance itself is used only for the
         stateless per-edge Compute - per-lane state lives in per-lane
         copies, so stateful hooks (SSSP's pending set) stay isolated.
+
+        ``lane_params`` optionally overrides per-lane algorithm parameters:
+        entry k is a mapping of attribute overrides applied to lane k's
+        private copy before ``init`` (e.g. a per-lane SSSP ``delta``). With
+        heterogeneous parameters the per-edge Compute is evaluated through
+        each lane's own copy rather than the shared flattened call, so
+        parameter-dependent computes stay correct per lane.
         """
         device = self.device
         graph = self.graph
@@ -259,6 +330,19 @@ class SIMDXEngine:
                 f"algorithm {algorithm.name!r} does not support multi-source "
                 "batching (no per-query source to batch over)"
             )
+        if lane_params is not None:
+            lane_params = [dict(p) for p in lane_params]
+            if len(lane_params) != len(sources):
+                raise ValueError(
+                    f"lane_params has {len(lane_params)} entries for "
+                    f"{len(sources)} sources"
+                )
+            for overrides in lane_params:
+                for key in overrides:
+                    if not hasattr(algorithm, key):
+                        raise ValueError(
+                            f"unknown algorithm parameter {key!r} in lane_params"
+                        )
         num_lanes = len(sources)
         device.profiler.reset()
         device.reset_memory()
@@ -288,7 +372,9 @@ class SIMDXEngine:
             )
 
         try:
-            result = self._run_batch_loop(algorithm, sources, **params)
+            result = self._run_batch_loop(
+                algorithm, sources, lane_params=lane_params, **params
+            )
         except DeviceOutOfMemory as exc:
             result = BatchRunResult.failure(
                 self.SYSTEM_NAME, algorithm.name, graph.name, sources,
@@ -364,7 +450,7 @@ class SIMDXEngine:
                 direction = selector.decide(frontier_out_edges)
             else:
                 direction = selector.force(
-                    cfg.forced_direction or selector.start_direction
+                    self._forced_direction(iteration, selector.start_direction)
                 )
 
             if direction is Direction.PULL:
@@ -473,10 +559,67 @@ class SIMDXEngine:
         )
 
     # ------------------------------------------------------------------
-    # Batched multi-source loop
+    # Batched multi-source loop (with lane-aware direction splitting)
     # ------------------------------------------------------------------
+    def _plan_groups(
+        self,
+        iteration: int,
+        live: List[int],
+        lane_out_edges: Dict[int, int],
+        lane_frontiers: List[np.ndarray],
+        pull_estimate,
+        union_direction: Direction,
+        policy: Optional[BatchDirectionPolicy],
+        pull_scan_fraction: float,
+    ) -> List[SubBatchPlan]:
+        """Sub-batches for one batched iteration, in execution order.
+
+        A forced ``split_schedule`` wins; otherwise the lane-aware policy
+        plans (when enabled and the direction is automatic); otherwise the
+        whole batch runs as one sub-batch in ``union_direction``.
+        """
+        cfg = self.config
+        if cfg.split_schedule is not None:
+            forced = cfg.split_schedule(iteration, list(live))
+            if forced is not None:
+                seen: List[int] = []
+                groups = []
+                for direction, lanes in forced:
+                    lanes = [int(l) for l in lanes]
+                    seen.extend(lanes)
+                    if lanes:  # an empty group has nothing to execute
+                        groups.append(SubBatchPlan(direction, tuple(lanes)))
+                if sorted(seen) != sorted(live):
+                    raise ValueError(
+                        f"split_schedule for iteration {iteration} must "
+                        f"partition the live lanes {sorted(live)}, got {sorted(seen)}"
+                    )
+                if policy is not None:
+                    # Keep the per-lane selectors (and split_history) in
+                    # step with what actually executes, so automatic
+                    # iterations interleaved with forced ones plan from
+                    # real hysteresis.
+                    policy.force(groups)
+                return groups
+        if policy is not None:
+            decision = policy.plan(
+                live,
+                lane_out_edges,
+                {lane: int(lane_frontiers[lane].size) for lane in live},
+                pull_estimate,
+                union_direction,
+                pull_scan_fraction=pull_scan_fraction,
+            )
+            return list(decision.groups)
+        return [SubBatchPlan(union_direction, tuple(live))]
+
     def _run_batch_loop(
-        self, algorithm: ACCAlgorithm, sources: List[int], **params
+        self,
+        algorithm: ACCAlgorithm,
+        sources: List[int],
+        *,
+        lane_params: Optional[List[Dict[str, object]]] = None,
+        **params,
     ) -> BatchRunResult:
         cfg = self.config
         graph = self.graph
@@ -485,22 +628,38 @@ class SIMDXEngine:
         num_lanes = len(sources)
 
         # Per-lane algorithm copies isolate stateful hooks (SSSP's pending
-        # set, k-Core's bookkeeping); the shared prototype serves only the
-        # stateless flattened Compute calls.
-        clones = [copy.copy(algorithm) for _ in sources]
+        # set, k-Core's bookkeeping); the shared prototype serves the
+        # stateless flattened Compute calls - unless heterogeneous per-lane
+        # parameters require evaluating Compute through each lane's copy.
+        per_lane_compute = lane_params is not None
+        clones: List[ACCAlgorithm] = []
         metadata = np.zeros((num_lanes, n), dtype=np.float64)
         lane_frontiers: List[np.ndarray] = []
-        for lane, (clone, source) in enumerate(zip(clones, sources)):
+        for lane, source in enumerate(sources):
+            clone = copy.copy(algorithm)
+            if lane_params is not None:
+                for key, value in lane_params[lane].items():
+                    setattr(clone, key, value)
             state = clone.init(graph, source=source, **params)
+            clones.append(clone)
             metadata[lane] = np.asarray(state.metadata, dtype=np.float64)
             lane_frontiers.append(
                 np.unique(np.asarray(state.frontier, dtype=np.int64))
             )
 
-        jit: Optional[JITTaskManager] = None
+        # Task-management streams: the primary stream serves single-group
+        # iterations and the first sub-batch of a split; a split forks a
+        # side stream from the primary (same ballot/online mode, same last
+        # direction - what every lane experienced up to the split), which
+        # persists across consecutive split iterations and retires on
+        # re-merge. Stream identity affects cost and traces only, never
+        # per-lane results.
+        jit_main: Optional[JITTaskManager] = None
+        jit_side: Optional[JITTaskManager] = None
+        retired_side_jits: List[JITTaskManager] = []
         standalone_filter = None
         if cfg.filter_mode == FilterMode.JIT:
-            jit = JITTaskManager(
+            jit_main = JITTaskManager(
                 overflow_threshold=cfg.overflow_threshold,
                 shadow_online=cfg.shadow_online,
             )
@@ -509,13 +668,29 @@ class SIMDXEngine:
                 cfg.filter_mode, online_capacity=cfg.overflow_threshold
             )
 
+        start_direction = (
+            Direction.PULL if algorithm.starts_in_pull else Direction.PUSH
+        )
         selector = DirectionSelector(
             total_edges=graph.num_edges,
             to_pull_threshold=cfg.to_pull_threshold,
             to_push_threshold=cfg.to_push_threshold,
-            start_direction=(
-                Direction.PULL if algorithm.starts_in_pull else Direction.PUSH
-            ),
+            start_direction=start_direction,
+        )
+        policy: Optional[BatchDirectionPolicy] = None
+        if cfg.direction_auto and cfg.lane_aware_split:
+            policy = BatchDirectionPolicy(
+                total_edges=graph.num_edges,
+                num_lanes=num_lanes,
+                to_pull_threshold=cfg.to_pull_threshold,
+                to_push_threshold=cfg.to_push_threshold,
+                start_direction=start_direction,
+                traffic_model=cfg.traffic_model,
+                margin=cfg.split_margin,
+            )
+        pull_scan_fraction = (
+            cfg.traffic_model.voting_pull_scan_fraction
+            if algorithm.combine_kind is CombineKind.VOTING else 1.0
         )
         barrier = self._make_barrier()
         max_iterations = (
@@ -526,10 +701,11 @@ class SIMDXEngine:
         records: List[IterationRecord] = []
         filter_trace: List[str] = []
         direction_trace: List[str] = []
+        split_iterations: List[int] = []
         lane_iterations = [0] * num_lanes
         total_us = 0.0
         iteration = 0
-        sortedness = 1.0
+        sortedness = {"main": 1.0, "side": 1.0}
 
         while any(f.size for f in lane_frontiers) and iteration < max_iterations:
             iteration += 1
@@ -540,150 +716,225 @@ class SIMDXEngine:
             batched = BatchedFrontier.from_lanes(lane_frontiers)
             union = batched.vertices
 
-            # ------------- direction on the union frontier ---------------
-            # The Beamer test prices the union's out-edges: one decision for
-            # all lanes (the union approximation of docs/batching.md).
-            push_classified = self.classifier.classify(union)
-            union_out_edges = push_classified.total_edges
-            if cfg.direction_auto:
-                direction = selector.decide(union_out_edges)
-            else:
-                direction = selector.force(
-                    cfg.forced_direction or selector.start_direction
-                )
-            # ------------- batched expansion -----------------------------
-            if direction is Direction.PULL:
-                # Per-lane out-edge counts gate the per-lane frontier hook
-                # (a gather consumes the frontier's contributions whether or
-                # not any in-edge survives the lane's keep filter).
+            # ------------- direction: union decision + lane-aware plan ---
+            # The union selector still runs every iteration (its history is
+            # the direction_switches trace and the fallback decision); the
+            # lane-aware policy may override it per sub-batch. Per-lane
+            # out-edge counts are needed only for planning (policy or
+            # forced schedule) and for gating pull-mode frontier hooks, so
+            # pure decide-once push iterations skip the K degree sums.
+            if policy is not None or cfg.split_schedule is not None:
                 lane_out_edges = {
                     lane: self.classifier.edge_count(lane_frontiers[lane])
                     for lane in live
                 }
-                if self._in_degrees is None:
-                    self._in_degrees = graph.in_degrees()
-                lane_candidates: Dict[int, np.ndarray] = {}
-                for lane in live:
+            else:
+                lane_out_edges = {}
+            union_out_edges = self.classifier.edge_count(union)
+            if cfg.direction_auto:
+                union_direction = selector.decide(union_out_edges)
+            else:
+                union_direction = selector.force(
+                    self._forced_direction(iteration, selector.start_direction)
+                )
+
+            # Gather candidates are cached per (iteration, lane) so the
+            # planner's pull scoring and the pull expansion both price the
+            # same pruned worklist, computed from iteration-start metadata.
+            lane_candidates_cache: Dict[int, np.ndarray] = {}
+
+            def lane_gather_candidates(lane: int) -> np.ndarray:
+                if lane not in lane_candidates_cache:
+                    if self._in_degrees is None:
+                        self._in_degrees = graph.in_degrees()
                     mask = np.asarray(
                         clones[lane].gather_mask(
                             metadata[lane], graph, lane_frontiers[lane]
                         ),
                         dtype=bool,
                     )
-                    lane_candidates[lane] = np.nonzero(
+                    lane_candidates_cache[lane] = np.nonzero(
                         mask & (self._in_degrees > 0)
                     )[0].astype(np.int64)
-                non_empty = [c for c in lane_candidates.values() if c.size]
-                union_candidates = (
-                    np.unique(np.concatenate(non_empty)) if non_empty
-                    else np.zeros(0, dtype=np.int64)
-                )
-                classifier = self.pull_classifier
-                classified = classifier.classify(union_candidates)
-                expansion, lane_recorded, lane_pairs = self._expand_batch_pull(
-                    algorithm, clones, metadata, lane_frontiers, live,
-                    lane_candidates, union_candidates, lane_out_edges,
-                )
-            else:
-                classifier = self.classifier
-                classified = push_classified
-                expansion, lane_recorded, lane_pairs = self._expand_batch_push(
-                    algorithm, clones, metadata, batched, live,
-                )
-            frontier_edges = classified.total_edges
+                return lane_candidates_cache[lane]
 
-            # ------------- per-lane next frontiers -----------------------
-            # Functional evolution is exact per lane: mirror the single-run
-            # worklist derivation (recorded ∩ active, with the convergence
-            # re-seed) on each lane's own metadata row.
-            union_active = np.zeros(n, dtype=bool)
-            for lane in live:
-                active = np.asarray(
-                    clones[lane].active_mask(metadata[lane], prev_metadata[lane]),
-                    dtype=bool,
-                )
-                union_active |= active
-                recorded_lane = lane_recorded[lane]
-                worklist = (
-                    recorded_lane[active[recorded_lane]]
-                    if recorded_lane.size else recorded_lane
-                )
-                next_frontier = np.unique(worklist)
-                if next_frontier.size == 0 and not clones[lane].converged(
-                    metadata[lane], prev_metadata[lane], iteration
-                ):
-                    next_frontier = np.nonzero(active)[0].astype(np.int64)
-                lane_frontiers[lane] = next_frontier
+            def pull_estimate(lane: int) -> Tuple[int, int]:
+                candidates = lane_gather_candidates(lane)
+                scanned = int(self._in_degrees[candidates].sum())
+                return scanned, int(candidates.size)
 
-            # ------------- one task-management pass on the union ---------
-            # Charged and traced exactly like a single-source iteration
-            # over the union worklist (the shared tail below); its output
-            # worklist is redundant with the per-lane derivation above and
-            # is used only for the sortedness of the next iteration's cost
-            # model.
-            success_rate = 1.0
-            if (
-                jit is not None
-                and direction is Direction.PUSH
-                and direction_trace
-                and direction_trace[-1] == Direction.PULL.value
-            ):
-                # Union analogue of _offer_success_rate: a destination is
-                # still updatable if any lane can update it.
-                updatable = np.zeros(n, dtype=bool)
-                for lane in live:
-                    updatable |= np.asarray(
-                        clones[lane].gather_mask(
-                            prev_metadata[lane], graph, None
+            groups = self._plan_groups(
+                iteration, live, lane_out_edges, lane_frontiers,
+                pull_estimate, union_direction, policy, pull_scan_fraction,
+            )
+            if len(groups) > 1:
+                split_iterations.append(iteration)
+                if jit_main is not None and jit_side is None:
+                    jit_side = jit_main.fork()
+            elif jit_side is not None:
+                # Decisions reconverged: the side stream retires, the
+                # primary stream carries on for the merged batch.
+                retired_side_jits.append(jit_side)
+                jit_side = None
+
+            # ------------- per-sub-batch expansion + tail ----------------
+            group_directions: List[str] = []
+            group_filters: List[str] = []
+            for group_index, group in enumerate(groups):
+                group_lanes = list(group.lanes)
+                direction = group.direction
+                stream_key = "main" if group_index == 0 else "side"
+                jit_stream = jit_main if group_index == 0 else jit_side
+
+                if direction is Direction.PULL:
+                    lane_candidates = {
+                        lane: lane_gather_candidates(lane)
+                        for lane in group_lanes
+                    }
+                    non_empty = [
+                        c for c in lane_candidates.values() if c.size
+                    ]
+                    union_candidates = (
+                        np.unique(np.concatenate(non_empty)) if non_empty
+                        else np.zeros(0, dtype=np.int64)
+                    )
+                    classifier = self.pull_classifier
+                    classified = classifier.classify(union_candidates)
+                    group_out_edges = {
+                        l: (
+                            lane_out_edges[l] if l in lane_out_edges
+                            else self.classifier.edge_count(lane_frontiers[l])
+                        )
+                        for l in group_lanes
+                    }
+                    expansion, lane_recorded, lane_pairs = self._expand_batch_pull(
+                        algorithm, clones, metadata, lane_frontiers,
+                        group_lanes, lane_candidates, union_candidates,
+                        group_out_edges,
+                        per_lane_compute=per_lane_compute,
+                    )
+                    front_parts = [
+                        lane_frontiers[l] for l in group_lanes
+                        if lane_frontiers[l].size
+                    ]
+                    group_frontier = (
+                        np.unique(np.concatenate(front_parts)) if front_parts
+                        else np.zeros(0, dtype=np.int64)
+                    )
+                else:
+                    view = (
+                        batched if len(groups) == 1
+                        else batched.sub_batch(group_lanes)
+                    )
+                    group_frontier = (
+                        union if len(groups) == 1 else view.vertices
+                    )
+                    classifier = self.classifier
+                    classified = classifier.classify(group_frontier)
+                    expansion, lane_recorded, lane_pairs = self._expand_batch_push(
+                        algorithm, clones, metadata, view, group_lanes,
+                        per_lane_compute=per_lane_compute,
+                    )
+                frontier_edges = classified.total_edges
+
+                # Per-lane next frontiers: mirror the single-run worklist
+                # derivation (recorded ∩ active, with the convergence
+                # re-seed) on each group lane's own metadata row.
+                group_active = np.zeros(n, dtype=bool)
+                for lane in group_lanes:
+                    active = np.asarray(
+                        clones[lane].active_mask(
+                            metadata[lane], prev_metadata[lane]
                         ),
                         dtype=bool,
                     )
-                success_rate = float(updatable.mean()) if n else 1.0
-            (
-                filter_result, filter_name,
-                compute_us, launch_us, filter_us, barrier_us,
-            ) = self._finish_iteration(
-                algorithm=algorithm,
-                classified=classified,
-                classifier=classifier,
-                direction=direction,
-                sortedness=sortedness,
-                expansion=expansion,
-                active_mask=union_active,
-                frontier=union,
-                jit=jit,
-                standalone_filter=standalone_filter,
-                iteration=iteration,
-                barrier=barrier,
-                success_rate=success_rate,
-                extra_lane_pairs=max(0, lane_pairs - expansion.active_edges),
-            )
+                    group_active |= active
+                    recorded_lane = lane_recorded[lane]
+                    worklist = (
+                        recorded_lane[active[recorded_lane]]
+                        if recorded_lane.size else recorded_lane
+                    )
+                    next_frontier = np.unique(worklist)
+                    if next_frontier.size == 0 and not clones[lane].converged(
+                        metadata[lane], prev_metadata[lane], iteration
+                    ):
+                        next_frontier = np.nonzero(active)[0].astype(np.int64)
+                    lane_frontiers[lane] = next_frontier
 
-            iteration_us = compute_us + launch_us + filter_us + barrier_us
-            total_us += iteration_us
-            records.append(
-                IterationRecord(
+                # One task-management pass per sub-batch, charged and traced
+                # exactly like a single-source iteration over the group's
+                # union worklist; its output worklist is redundant with the
+                # per-lane derivation above and feeds only the sortedness of
+                # the stream's next iteration.
+                success_rate = 1.0
+                if (
+                    jit_stream is not None
+                    and direction is Direction.PUSH
+                    and jit_stream.last_direction is Direction.PULL
+                ):
+                    # Group analogue of _offer_success_rate: a destination
+                    # is still updatable if any group lane can update it.
+                    updatable = np.zeros(n, dtype=bool)
+                    for lane in group_lanes:
+                        updatable |= np.asarray(
+                            clones[lane].gather_mask(
+                                prev_metadata[lane], graph, None
+                            ),
+                            dtype=bool,
+                        )
+                    success_rate = float(updatable.mean()) if n else 1.0
+                (
+                    filter_result, filter_name,
+                    compute_us, launch_us, filter_us, barrier_us,
+                ) = self._finish_iteration(
+                    algorithm=algorithm,
+                    classified=classified,
+                    classifier=classifier,
+                    direction=direction,
+                    sortedness=sortedness[stream_key],
+                    expansion=expansion,
+                    active_mask=group_active,
+                    frontier=group_frontier,
+                    jit=jit_stream,
+                    standalone_filter=standalone_filter,
                     iteration=iteration,
-                    direction=direction.value,
-                    frontier_vertices=int(union.size),
-                    frontier_edges=int(frontier_edges),
-                    filter_used=filter_name,
-                    filter_overflowed=filter_result.overflowed,
-                    compute_us=compute_us,
-                    filter_us=filter_us,
-                    barrier_us=barrier_us,
-                    launch_us=launch_us,
-                    active_edges=int(expansion.active_edges),
-                    lane_edge_pairs=int(lane_pairs),
-                    active_lanes=len(live),
+                    barrier=barrier,
+                    success_rate=success_rate,
+                    extra_lane_pairs=max(0, lane_pairs - expansion.active_edges),
                 )
-            )
-            filter_trace.append(filter_name)
-            direction_trace.append(direction.value)
-            sortedness = (
-                filter_result.sortedness if filter_result.worklist.size else 1.0
-            )
+                sortedness[stream_key] = (
+                    filter_result.sortedness if filter_result.worklist.size
+                    else 1.0
+                )
 
+                total_us += compute_us + launch_us + filter_us + barrier_us
+                records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        direction=direction.value,
+                        frontier_vertices=int(group_frontier.size),
+                        frontier_edges=int(frontier_edges),
+                        filter_used=filter_name,
+                        filter_overflowed=filter_result.overflowed,
+                        compute_us=compute_us,
+                        filter_us=filter_us,
+                        barrier_us=barrier_us,
+                        launch_us=launch_us,
+                        active_edges=int(expansion.active_edges),
+                        lane_edge_pairs=int(lane_pairs),
+                        active_lanes=len(group_lanes),
+                    )
+                )
+                group_directions.append(direction.value)
+                group_filters.append(filter_name)
+
+            filter_trace.append("+".join(group_filters))
+            direction_trace.append("+".join(group_directions))
+
+        pre_armed: List[int] = []
+        for manager in (jit_main, jit_side, *retired_side_jits):
+            if manager is not None:
+                pre_armed.extend(manager.pre_armed_iterations())
         values = np.stack(
             [clones[k].vertex_value(metadata[k]) for k in range(num_lanes)]
         )
@@ -707,14 +958,19 @@ class SIMDXEngine:
                 "filter_mode": cfg.filter_mode.value,
                 "direction_switches": selector.switches(),
                 "breakdown": device.profiler.breakdown(),
-                "jit_pre_armed_iterations": (
-                    jit.pre_armed_iterations() if jit is not None else []
-                ),
-                # Amortization bookkeeping: edges the union walk touched vs
+                "jit_pre_armed_iterations": sorted(set(pre_armed)),
+                # Amortization bookkeeping: edges the union walks touched vs
                 # the (edge, lane) pairs a serial execution would have
-                # walked.
+                # walked, plus the gather share (the quantity lane-aware
+                # splitting shrinks on road-style graphs).
                 "union_edges_walked": sum(r.frontier_edges for r in records),
                 "lane_edge_pairs": sum(r.lane_edge_pairs for r in records),
+                "pull_edges_scanned": sum(
+                    r.frontier_edges for r in records
+                    if r.direction == Direction.PULL.value
+                ),
+                "split_iterations": split_iterations,
+                "lane_splits": len(split_iterations),
             },
         )
 
@@ -1042,27 +1298,36 @@ class SIMDXEngine:
         algorithm: ACCAlgorithm,
         clones: List[ACCAlgorithm],
         metadata: np.ndarray,
-        batched: BatchedFrontier,
-        live: List[int],
+        view: BatchedFrontier,
+        lanes: List[int],
+        *,
+        per_lane_compute: bool = False,
     ) -> Tuple[_ExpansionResult, List[np.ndarray], int]:
-        """Batched scatter: walk the union frontier's out-edges once, expand
+        """Batched scatter: walk ``view``'s union out-edges once, expand
         each edge into the lanes whose frontier contains its source.
 
-        Returns the union-level expansion (what the shared task-management
-        pass and the cost model see), the per-lane recorded destinations
-        (what each lane's next frontier derives from), and the total
+        ``view`` is the full :class:`BatchedFrontier` for a single-group
+        iteration or a :meth:`~BatchedFrontier.sub_batch` view for a split
+        one; ``lanes`` are the global lane ids it serves. Returns the
+        group-level expansion (what that sub-batch's task-management pass
+        and the cost model see), the per-lane recorded destinations (what
+        each lane's next frontier derives from), and the total
         ``(edge, lane)`` pair count. Pairs are assembled lane-major with
         each lane's edges in union-walk order, which is exactly the edge
         order of that lane's independent single-source run - so the
         per-destination combine order, and therefore the metadata, is
-        bit-identical per lane.
+        bit-identical per lane under every split schedule.
         """
         graph = self.graph
         csr = graph.out_csr
-        union = batched.vertices
+        union = view.vertices
         num_workers = int(union.size)
         empty = np.zeros(0, dtype=np.int64)
-        lane_recorded: List[np.ndarray] = [empty] * batched.num_lanes
+        lane_recorded: List[np.ndarray] = [empty] * len(clones)
+        local_of = (
+            {lane: lane for lane in lanes} if view.lane_ids is None
+            else {g: i for i, g in enumerate(view.lane_ids)}
+        )
 
         slot, edge_idx, total = self._walk_edges(csr, union)
         if total == 0:
@@ -1075,12 +1340,12 @@ class SIMDXEngine:
         dst = csr.targets[edge_idx].astype(np.int64)
         weights = csr.weights[edge_idx].astype(np.float64)
 
-        # Every union vertex comes from some live lane's frontier, so each
+        # Every union vertex comes from some lane's frontier, so each
         # walked edge belongs to at least one lane: pair_parts is non-empty
         # whenever total > 0.
         pair_parts: List[Tuple[int, np.ndarray]] = []
-        for lane in live:
-            lane_edges = np.nonzero(batched.lane_mask(lane)[slot])[0]
+        for lane in lanes:
+            lane_edges = np.nonzero(view.lane_mask(local_of[lane])[slot])[0]
             if lane_edges.size:
                 pair_parts.append((lane, lane_edges))
         pair_src = np.concatenate([src[idx] for _, idx in pair_parts])
@@ -1091,12 +1356,29 @@ class SIMDXEngine:
         )
         lane_pairs = int(pair_src.size)
 
-        updates = algorithm.scatter_edges(
-            metadata[pair_lane, pair_src], pair_weights,
-            metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
-            lanes=pair_lane,
-        )
-        updates = np.asarray(updates, dtype=np.float64)
+        if per_lane_compute:
+            # Heterogeneous lane parameters: evaluate Compute through each
+            # lane's own copy. Concatenation order is lane-major like the
+            # flattened call, so homogeneous parameters give bit-identical
+            # updates either way.
+            updates = np.concatenate([
+                np.asarray(
+                    clones[lane].scatter_edges(
+                        metadata[lane, src[idx]], weights[idx],
+                        metadata[lane, dst[idx]], src[idx], dst[idx], graph,
+                        lanes=np.full(idx.size, lane, dtype=np.int64),
+                    ),
+                    dtype=np.float64,
+                )
+                for lane, idx in pair_parts
+            ])
+        else:
+            updates = algorithm.scatter_edges(
+                metadata[pair_lane, pair_src], pair_weights,
+                metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
+                lanes=pair_lane,
+            )
+            updates = np.asarray(updates, dtype=np.float64)
 
         # Per-lane tail: hook, NaN filter, Combine + apply on the lane's own
         # metadata row - the same sequence as _expand_push, per lane.
@@ -1105,7 +1387,7 @@ class SIMDXEngine:
         for lane, lane_edges in pair_parts:
             begin, offset = offset, offset + lane_edges.size
             clones[lane].on_frontier_expanded(
-                batched.lane_vertices(lane), metadata[lane]
+                view.lane_vertices(local_of[lane]), metadata[lane]
             )
             lane_updates = updates[begin:offset]
             valid = ~np.isnan(lane_updates)
@@ -1138,19 +1420,24 @@ class SIMDXEngine:
         clones: List[ACCAlgorithm],
         metadata: np.ndarray,
         lane_frontiers: List[np.ndarray],
-        live: List[int],
+        lanes: List[int],
         lane_candidates: Dict[int, np.ndarray],
         union_candidates: np.ndarray,
         lane_out_edges: Dict[int, int],
+        *,
+        per_lane_compute: bool = False,
     ) -> Tuple[_ExpansionResult, List[np.ndarray], int]:
-        """Batched gather: walk the in-edges of the union gather worklist
-        once; a lane keeps an in-edge when the destination is in its own
-        gather worklist *and* the source is in its own frontier.
+        """Batched gather: walk the in-edges of the group's union gather
+        worklist once; a lane keeps an in-edge when the destination is in
+        its own gather worklist *and* the source is in its own frontier.
 
-        Per lane the kept edge set and order match the lane's independent
-        forced-pull iteration (candidates sorted, in-CSR row order), which
-        in turn is bit-identical to its push expansion - the engine's
-        push/pull equivalence carried through the lane axis.
+        ``lanes`` are the (global) lanes of this sub-batch - the whole
+        batch for a single-group iteration, the pull-leaning group of a
+        split one. Per lane the kept edge set and order match the lane's
+        independent forced-pull iteration (candidates sorted, in-CSR row
+        order), which in turn is bit-identical to its push expansion - the
+        engine's push/pull equivalence carried through the lane axis,
+        under every split schedule.
         """
         graph = self.graph
         n = graph.num_vertices
@@ -1162,7 +1449,7 @@ class SIMDXEngine:
         def fire_hooks() -> None:
             # Same condition as the single-run early returns: the lane's
             # frontier had out-edges to consume, gathered or not.
-            for lane in live:
+            for lane in lanes:
                 if lane_out_edges.get(lane, 0) > 0:
                     clones[lane].on_frontier_expanded(
                         lane_frontiers[lane], metadata[lane]
@@ -1181,7 +1468,7 @@ class SIMDXEngine:
 
         kept_any = np.zeros(total, dtype=bool)
         pair_parts: List[Tuple[int, np.ndarray]] = []
-        for lane in live:
+        for lane in lanes:
             candidates = lane_candidates[lane]
             if candidates.size == 0 or lane_frontiers[lane].size == 0:
                 continue
@@ -1213,12 +1500,28 @@ class SIMDXEngine:
         )
         lane_pairs = int(pair_src.size)
 
-        updates = algorithm.gather_edges(
-            metadata[pair_lane, pair_src], pair_weights,
-            metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
-            lanes=pair_lane,
-        )
-        updates = np.asarray(updates, dtype=np.float64)
+        if per_lane_compute:
+            # Heterogeneous lane parameters: evaluate Compute through each
+            # lane's own copy (lane-major order matches the flattened call).
+            updates = np.concatenate([
+                np.asarray(
+                    clones[lane].gather_edges(
+                        metadata[lane, src[idx]],
+                        csr.weights[edge_idx[idx]].astype(np.float64),
+                        metadata[lane, dst[idx]], src[idx], dst[idx], graph,
+                        lanes=np.full(idx.size, lane, dtype=np.int64),
+                    ),
+                    dtype=np.float64,
+                )
+                for lane, idx in pair_parts
+            ])
+        else:
+            updates = algorithm.gather_edges(
+                metadata[pair_lane, pair_src], pair_weights,
+                metadata[pair_lane, pair_dst], pair_src, pair_dst, graph,
+                lanes=pair_lane,
+            )
+            updates = np.asarray(updates, dtype=np.float64)
         fire_hooks()
 
         valid_any = np.zeros(total, dtype=bool)

@@ -35,7 +35,7 @@ bitmask recovers each lane's exact edge subset. See ``docs/batching.md``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -278,6 +278,11 @@ class BatchedFrontier:
     vertices: np.ndarray   # sorted unique union of the lane frontiers, int64
     lane_bits: np.ndarray  # (vertices.size, num_words) uint64
     num_lanes: int
+    #: For a sub-batch view (:meth:`sub_batch`): the *global* lane id of
+    #: each local lane, so the engine can map a sub-batch's rows back onto
+    #: the full batch's per-lane state. ``None`` for a full batch, where
+    #: local and global ids coincide.
+    lane_ids: Optional[Tuple[int, ...]] = None
 
     @classmethod
     def from_lanes(cls, lane_frontiers: List[np.ndarray]) -> "BatchedFrontier":
@@ -328,6 +333,39 @@ class BatchedFrontier:
         return np.array(
             [int(self.lane_mask(k).sum()) for k in range(self.num_lanes)],
             dtype=np.int64,
+        )
+
+    def global_lane(self, lane: int) -> int:
+        """Global lane id of local ``lane`` (identity for a full batch)."""
+        if self.lane_ids is None:
+            return lane
+        return self.lane_ids[lane]
+
+    def sub_batch(self, lanes: Sequence[int]) -> "BatchedFrontier":
+        """View of this batch restricted to ``lanes`` (global lane ids).
+
+        The selected lanes are remapped to local ids ``0..len(lanes)-1``
+        (recorded in :attr:`lane_ids`), the union shrinks to the vertices
+        active in at least one selected lane, and the packed bitmask is
+        rebuilt at the sub-batch's own word width - each group of a K=65
+        batch split into 64 + 1 lanes needs one mask word, not two.
+        Lane-aware direction splitting (``docs/batching.md``) walks each
+        sub-batch's CSR rows with exactly this view.
+        """
+        lanes = [int(l) for l in lanes]
+        for lane in lanes:
+            if not (0 <= lane < self.num_lanes):
+                raise IndexError(f"lane {lane} out of range")
+        if self.lane_ids is not None:
+            raise ValueError("sub_batch of a sub_batch is not supported")
+        sub = BatchedFrontier.from_lanes(
+            [self.lane_vertices(lane) for lane in lanes]
+        )
+        return BatchedFrontier(
+            vertices=sub.vertices,
+            lane_bits=sub.lane_bits,
+            num_lanes=sub.num_lanes,
+            lane_ids=tuple(lanes),
         )
 
     def total_memberships(self) -> int:

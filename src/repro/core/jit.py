@@ -114,10 +114,43 @@ class JITTaskManager:
     def current_filter_name(self) -> str:
         return "ballot" if self._use_ballot else "online"
 
+    @property
+    def last_direction(self) -> Optional[Direction]:
+        """Direction of the most recent :meth:`build` call (None before any).
+
+        The engine reads it to detect a pull->push hand-over per
+        task-management stream - with lane-aware batch splitting each
+        sub-batch owns a stream, so the pre-arm trigger follows what *its*
+        lanes executed, not the merged batch's trace.
+        """
+        return self._last_direction
+
     def reset(self) -> None:
         self._use_ballot = False
         self._last_direction = None
         self.decisions.clear()
+
+    def fork(self) -> "JITTaskManager":
+        """Clone the controller state for a split-off sub-batch.
+
+        Lane-aware batch splitting (``SIMDXEngine.run_batch`` with
+        ``EngineConfig.lane_aware_split``) gives each sub-batch its own
+        task-management tail: the forked controller starts from the parent's
+        ballot/online mode and last executed direction - which is exactly
+        what every lane of the sub-batch experienced up to the split - and
+        then evolves independently, so a pull-leaning sub-batch that later
+        hands back to push pre-arms the ballot from *its own* frontier's
+        degree bound, not the merged batch's. Decisions recorded after the
+        fork stay private to the fork; the engine aggregates them for
+        ``RunResult.extra``.
+        """
+        fork = JITTaskManager(
+            overflow_threshold=self.overflow_threshold,
+            shadow_online=self.shadow_online,
+        )
+        fork._use_ballot = self._use_ballot
+        fork._last_direction = self._last_direction
+        return fork
 
     def build(
         self,

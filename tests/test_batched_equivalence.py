@@ -88,6 +88,43 @@ class TestBatchedFrontier:
         assert bf.is_empty
         assert bf.vertices.size == 0
 
+    def test_k65_crosses_the_word_width(self):
+        # One lane past the 64-bit word width: every bitmask operation -
+        # membership, sizes, memberships, sub-batch remapping - must use
+        # multi-word masks, not a single uint64.
+        lanes = [np.array([lane % 7], dtype=np.int64) for lane in range(65)]
+        bf = BatchedFrontier.from_lanes(lanes)
+        assert bf.lane_bits.shape == (7, 2)
+        for lane in range(65):
+            assert np.array_equal(bf.lane_vertices(lane), [lane % 7])
+        assert bf.total_memberships() == 65
+        assert np.array_equal(
+            bf.lane_sizes(), np.ones(65, dtype=np.int64)
+        )
+        # A sub-batch that mixes lanes from both words: lane 64 (word 1)
+        # and lane 0 (word 0) repack into a single-word two-lane view.
+        sub = bf.sub_batch([64, 0])
+        assert sub.lane_bits.shape[1] == 1
+        assert np.array_equal(sub.lane_vertices(0), [64 % 7])
+        assert np.array_equal(sub.lane_vertices(1), [0])
+        assert sub.lane_ids == (64, 0)
+
+    def test_k65_run_batch_matches_singles(self):
+        # End-to-end K=65: the engine's bitmask walk, the lane-aware
+        # policy's per-lane selectors and the memory model all index past
+        # the first mask word.
+        graph = gen.rmat_graph(8, 8, seed=3, name="rmat8")
+        degrees = graph.out_degrees()
+        sources = [
+            int(v) for v in np.argsort(-degrees, kind="stable")[:65]
+        ]
+        batch = SIMDXEngine(graph).run_batch(BFS(), sources)
+        assert not batch.failed, batch.failure_reason
+        assert batch.num_lanes == 65
+        for lane, source in enumerate(sources):
+            single = SIMDXEngine(graph).run(BFS(source=source))
+            assert np.array_equal(batch.values[lane], single.values), lane
+
 
 class TestBitIdenticalEquivalence:
     @pytest.mark.parametrize("config_name", sorted(CONFIGS))

@@ -1,0 +1,313 @@
+"""Differential fuzz harness for the whole engine.
+
+Seeded random graphs × all 7 algorithms × every execution mode the engine
+offers must agree:
+
+* the **auto**-direction run is checked against the single-threaded serial
+  reference oracle (``repro.baselines.reference``) - exactly for the
+  discrete / monotone-min algorithms (BFS, SSSP, WCC, k-Core membership),
+  to numeric tolerance for the float-accumulating ones (PageRank, BP,
+  SpMV), whose reference implementations sum updates in a different order;
+* **forced push**, **forced pull** and **forced per-iteration direction
+  schedules** must be bit-identical to the auto run - the engine's core
+  push/pull equivalence, fuzzed across graph shapes;
+* for the multi-source algorithms (BFS, SSSP), **batched** runs at
+  K ∈ {1, 4, 16} with lane-aware splitting forced eagerly on
+  (``split_margin=0``), forced off (``lane_aware_split=False``) and under
+  random forced split schedules must be bit-identical per lane to the K
+  serial single-source engine runs (which the auto check ties back to the
+  oracle).
+
+A small matrix runs in tier-1 on every push; the large matrix (more
+seeds, more graph shapes, K=16, random schedules) carries the ``slow``
+marker and runs in the nightly bench-smoke job (REPRO_RUN_SLOW=1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSSP,
+    BeliefPropagation,
+    KCore,
+    PageRank,
+    SpMV,
+    WCC,
+)
+from repro.baselines import reference as ref
+from repro.core.direction import Direction
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.graph import generators as gen
+from repro.graph.csr import CSRGraph
+from tests.conftest import assert_distances_equal
+
+FORCED_PUSH = EngineConfig(direction_auto=False, forced_direction=Direction.PUSH)
+FORCED_PULL = EngineConfig(direction_auto=False, forced_direction=Direction.PULL)
+
+
+# ----------------------------------------------------------------------
+# Seeded graph shapes
+# ----------------------------------------------------------------------
+def _uniform(seed: int) -> CSRGraph:
+    return gen.random_uniform_graph(
+        220, 1500, seed=seed, name=f"fuzz-uniform-{seed}"
+    )
+
+
+def _rmat(seed: int) -> CSRGraph:
+    return gen.rmat_graph(8, 8, seed=seed, name=f"fuzz-rmat-{seed}")
+
+
+def _road(seed: int) -> CSRGraph:
+    return gen.road_network_graph(14, 14, seed=seed, name=f"fuzz-road-{seed}")
+
+
+GRAPH_SHAPES: Dict[str, Callable[[int], CSRGraph]] = {
+    "uniform": _uniform,
+    "rmat": _rmat,
+    "road": _road,
+}
+
+#: (shape, seed) cells of the tier-1 matrix - one skewed, one uniform.
+SMALL_MATRIX = [("uniform", 101), ("rmat", 202)]
+#: The nightly matrix adds the road shape and more seeds per shape.
+SLOW_MATRIX = [
+    (shape, seed)
+    for shape in ("uniform", "rmat", "road")
+    for seed in (11, 23, 47)
+]
+
+
+def _source(graph: CSRGraph, rng: np.random.Generator) -> int:
+    """Deterministic random source with at least one out-edge."""
+    degrees = graph.out_degrees()
+    candidates = np.nonzero(degrees > 0)[0]
+    if candidates.size == 0:
+        return 0
+    return int(candidates[rng.integers(0, candidates.size)])
+
+
+def _sources(graph: CSRGraph, rng: np.random.Generator, k: int) -> List[int]:
+    degrees = graph.out_degrees()
+    candidates = np.nonzero(degrees > 0)[0]
+    k = min(k, candidates.size)
+    picked = rng.choice(candidates, size=k, replace=False)
+    return [int(v) for v in picked]
+
+
+# ----------------------------------------------------------------------
+# Algorithm cases: (factory, oracle check) per algorithm
+# ----------------------------------------------------------------------
+def _bfs_case(graph, rng):
+    src = _source(graph, rng)
+
+    def oracle(values, algo):
+        assert np.array_equal(values, ref.bfs_levels(graph, src))
+
+    return (lambda: BFS(source=src)), oracle
+
+
+def _sssp_case(graph, rng):
+    src = _source(graph, rng)
+
+    def oracle(values, algo):
+        assert_distances_equal(values, ref.sssp_distances(graph, src))
+
+    return (lambda: SSSP(source=src)), oracle
+
+
+def _sssp_delta_case(graph, rng):
+    src = _source(graph, rng)
+    delta = float(rng.uniform(2.0, 20.0))
+
+    def oracle(values, algo):
+        assert_distances_equal(values, ref.sssp_distances(graph, src))
+
+    return (lambda: SSSP(source=src, delta=delta)), oracle
+
+
+def _pagerank_case(graph, rng):
+    def oracle(values, algo):
+        expected = ref.pagerank_scores(graph)
+        assert np.abs(values - expected).max() < 1e-4
+
+    return (lambda: PageRank(tolerance=1e-7)), oracle
+
+
+def _kcore_case(graph, rng):
+    k = int(rng.integers(2, 8))
+
+    def oracle(values, algo):
+        assert np.array_equal(
+            algo.core_membership(values), ref.kcore_membership(graph, k)
+        )
+
+    return (lambda: KCore(k=k)), oracle
+
+
+def _wcc_case(graph, rng):
+    def oracle(values, algo):
+        assert np.array_equal(values, ref.wcc_labels(graph))
+
+    return (lambda: WCC()), oracle
+
+
+def _spmv_case(graph, rng):
+    x = rng.random(graph.num_vertices)
+
+    def oracle(values, algo):
+        assert np.allclose(values, ref.spmv_product(graph, x))
+
+    return (lambda: SpMV(x=x.copy())), oracle
+
+
+def _bp_case(graph, rng):
+    def oracle(values, algo):
+        expected = ref.bp_beliefs(
+            graph, algo._prior, damping=0.5, num_iterations=6
+        )
+        assert np.allclose(values, expected)
+
+    return (lambda: BeliefPropagation(num_iterations=6, damping=0.5)), oracle
+
+
+#: All 7 algorithms (SSSP also in its delta-stepping configuration).
+ALGORITHM_CASES = {
+    "bfs": _bfs_case,
+    "sssp": _sssp_case,
+    "sssp-delta": _sssp_delta_case,
+    "pagerank": _pagerank_case,
+    "kcore": _kcore_case,
+    "wcc": _wcc_case,
+    "spmv": _spmv_case,
+    "bp": _bp_case,
+}
+
+#: Multi-source algorithms exercised through the batched modes.
+BATCHED_CASES = ("bfs", "sssp")
+
+
+def _random_direction_schedule(rng, length=64):
+    return [
+        Direction.PUSH if rng.random() < 0.5 else Direction.PULL
+        for _ in range(length)
+    ]
+
+
+def _random_split_schedule(seed: int):
+    rng = np.random.default_rng(seed)
+
+    def schedule(iteration, live):
+        if len(live) < 2 or rng.random() < 0.25:
+            return None
+        cut = int(rng.integers(1, len(live)))
+        order = list(rng.permutation(live))
+        return [
+            (Direction.PUSH, sorted(int(v) for v in order[:cut])),
+            (Direction.PULL, sorted(int(v) for v in order[cut:])),
+        ]
+
+    return schedule
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+def _check_single_source_modes(graph, case_name, seed, *, with_schedules):
+    """Oracle + push/pull (+ scheduled) agreement for one (graph, algo)."""
+    rng = np.random.default_rng(seed * 7919 + sum(ord(c) for c in case_name))
+    make_algo, oracle = ALGORITHM_CASES[case_name](graph, rng)
+
+    auto_algo = make_algo()
+    auto = SIMDXEngine(graph).run(auto_algo)
+    assert not auto.failed, auto.failure_reason
+    oracle(auto.values, auto_algo)
+
+    for config in (FORCED_PUSH, FORCED_PULL):
+        forced = SIMDXEngine(graph, config=config).run(make_algo())
+        assert not forced.failed, forced.failure_reason
+        assert np.array_equal(forced.values, auto.values), (
+            f"{case_name} diverged under forced "
+            f"{config.forced_direction.value} on {graph.name}"
+        )
+
+    if with_schedules:
+        schedule = _random_direction_schedule(rng)
+        config = EngineConfig(
+            direction_auto=False, forced_direction_schedule=schedule
+        )
+        scheduled = SIMDXEngine(graph, config=config).run(make_algo())
+        assert np.array_equal(scheduled.values, auto.values), (
+            f"{case_name} diverged under a random direction schedule "
+            f"on {graph.name}"
+        )
+    return make_algo
+
+
+def _check_batched_modes(graph, case_name, seed, lane_counts):
+    """Batched K lanes × split-mode sweep vs serial single-source runs."""
+    rng = np.random.default_rng(seed * 6271 + sum(ord(c) for c in case_name))
+    make_algo, _ = ALGORITHM_CASES[case_name](graph, rng)
+    single_values: Dict[int, np.ndarray] = {}
+
+    def serial(source: int) -> np.ndarray:
+        if source not in single_values:
+            algo = make_algo()
+            algo.source = source
+            single_values[source] = SIMDXEngine(graph).run(algo).values
+        return single_values[source]
+
+    batch_configs = {
+        "split-on": EngineConfig(split_margin=0.0),
+        "split-off": EngineConfig(lane_aware_split=False),
+        "split-forced": EngineConfig(
+            split_schedule=_random_split_schedule(seed)
+        ),
+    }
+    for k in lane_counts:
+        sources = _sources(graph, rng, k)
+        for mode, config in batch_configs.items():
+            batch = SIMDXEngine(graph, config=config).run_batch(
+                make_algo(), sources
+            )
+            assert not batch.failed, batch.failure_reason
+            for lane, source in enumerate(sources):
+                assert np.array_equal(batch.values[lane], serial(source)), (
+                    f"{case_name} lane {lane} (source {source}) diverged "
+                    f"in mode {mode} at K={len(sources)} on {graph.name}"
+                )
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+@pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
+def test_small_matrix_single_source(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_single_source_modes(graph, case_name, seed, with_schedules=False)
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+@pytest.mark.parametrize("case_name", BATCHED_CASES)
+def test_small_matrix_batched(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_batched_modes(graph, case_name, seed, lane_counts=(1, 4))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+@pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
+def test_slow_matrix_single_source(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_single_source_modes(graph, case_name, seed, with_schedules=True)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+@pytest.mark.parametrize("case_name", BATCHED_CASES)
+def test_slow_matrix_batched(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_batched_modes(graph, case_name, seed, lane_counts=(1, 4, 16))

@@ -1,0 +1,102 @@
+"""Regression pins for ``RunResult.extra`` / ``BatchRunResult.extra``.
+
+The cost-accounting surface - scanned-edge counts, the pre-armed-ballot
+iteration list, the executed-direction trace - is what the benchmarks, the
+EXPERIMENTS.md baseline and the docs tables are built from. The split/merge
+refactor of the batched loop (lane-aware direction selection) must not
+silently change it, so this module pins exact values for fixed seed graphs:
+any intentional accounting change has to update these numbers explicitly.
+
+The pinned values were produced by the engine at the commit that introduced
+lane-aware splitting; they are deterministic (seeded generators, no
+randomness in the engine).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SSSP
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.graph import generators as gen
+
+
+@pytest.fixture(scope="module")
+def rmat():
+    return gen.rmat_graph(9, 8, seed=7, name="rmat9")
+
+
+@pytest.fixture(scope="module")
+def road():
+    return gen.road_network_graph(24, 24, seed=11, name="road")
+
+
+class TestSingleRunAccounting:
+    def test_sssp_rmat9_trace_and_edge_counts(self, rmat):
+        source = int(np.argmax(rmat.out_degrees()))
+        result = SIMDXEngine(rmat).run(SSSP(source=source))
+        assert result.iterations == 7
+        assert result.direction_trace == [
+            "push", "pull", "pull", "pull", "pull", "pull", "push",
+        ]
+        assert result.filter_trace == [
+            "ballot", "online", "online", "online", "online", "online",
+            "online",
+        ]
+        assert result.extra["direction_switches"] == 2
+        assert result.extra["jit_pre_armed_iterations"] == []
+        assert sum(r.frontier_edges for r in result.iteration_records) == 15524
+        assert sum(r.active_edges for r in result.iteration_records) == 8037
+
+    def test_sssp_rmat9_pre_arm_fires_at_low_threshold(self, rmat):
+        # With a 4-entry overflow threshold the pull phase hands back a
+        # frontier whose scaled hub bound exceeds the bins, so the final
+        # push iteration starts directly in ballot mode.
+        source = int(np.argmax(rmat.out_degrees()))
+        config = EngineConfig(overflow_threshold=4)
+        result = SIMDXEngine(rmat, config=config).run(SSSP(source=source))
+        assert result.extra["jit_pre_armed_iterations"] == [7]
+        assert result.filter_trace[-1] == "ballot"
+        assert result.direction_trace[-1] == "push"
+
+
+class TestBatchRunAccounting:
+    SOURCES = [42, 80, 81, 82, 83, 104, 106, 118]  # top-degree road hubs
+
+    @pytest.fixture(scope="class")
+    def batch(self, road):
+        sources = [
+            int(v) for v in np.argsort(-road.out_degrees(), kind="stable")[:8]
+        ]
+        assert sources == self.SOURCES  # the seed graph itself is pinned
+        return SIMDXEngine(road).run_batch(SSSP(), sources)
+
+    def test_scanned_edge_accounting(self, batch):
+        assert not batch.failed
+        assert batch.iterations == 40
+        assert batch.extra["union_edges_walked"] == 49305
+        assert batch.extra["lane_edge_pairs"] == 51960
+        assert batch.extra["pull_edges_scanned"] == 48263
+        # The per-record sums are the extras' ground truth.
+        assert batch.extra["union_edges_walked"] == sum(
+            r.frontier_edges for r in batch.iteration_records
+        )
+        assert batch.extra["pull_edges_scanned"] == sum(
+            r.frontier_edges for r in batch.iteration_records
+            if r.direction == "pull"
+        )
+
+    def test_split_accounting_and_direction_trace(self, batch):
+        assert batch.extra["split_iterations"] == [5]
+        assert batch.extra["lane_splits"] == 1
+        assert batch.extra["jit_pre_armed_iterations"] == []
+        # The executed-direction trace: pushes, one split iteration
+        # (push-leaning group first), a long gather phase, pushes out.
+        assert batch.direction_trace[:5] == [
+            "push", "push", "push", "push", "push+pull",
+        ]
+        assert batch.direction_trace[-3:] == ["push", "push", "push"]
+        assert batch.direction_trace.count("push+pull") == 1
+        # The split iteration owns two records; every other iteration one.
+        assert len(batch.iteration_records) == batch.iterations + 1

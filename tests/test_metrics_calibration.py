@@ -12,6 +12,13 @@ must behave (ROADMAP "remaining ideas" - the WCC failure mode):
   active) must take the same fallback instead of amplifying model-mismatch
   noise into huge cancelling coefficient pairs - previously they passed the
   exact-rank test and produced garbage fits.
+
+The forced-schedule sweep (``TestForcedScheduleSweep``) closes the loop on
+real engine runs: WCC's organic pull phases are near-collinear, but a sweep
+of ``EngineConfig.forced_direction_schedule`` runs that place a pull
+iteration at staggered stages of convergence varies the active fraction
+enough to condition the WCC timing matrix at rank 2, recovering positive
+per-edge costs from measured timings.
 """
 
 from __future__ import annotations
@@ -19,11 +26,15 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.algorithms import WCC
+from repro.core.direction import Direction
+from repro.core.engine import EngineConfig, SIMDXEngine
 from repro.core.metrics import (
     COLLINEARITY_LIMIT,
     IterationRecord,
     calibrate_pull_constants,
 )
+from repro.graph import generators as gen
 
 
 def _record(direction, scanned, active, compute_us, iteration=1):
@@ -119,6 +130,80 @@ class TestCollinearFallback:
         assert fit["fit_rank"] == 1
         assert fit["fit_condition"] < COLLINEARITY_LIMIT
         assert fit["fitted_scan_us_per_edge"] > 0
+        assert np.isnan(fit["fitted_active_us_per_edge"])
+
+
+class TestForcedScheduleSweep:
+    """Condition the WCC fit at rank 2 with a forced-schedule sweep.
+
+    A single WCC run's pull phases keep nearly every scanned in-edge
+    active (``active ≈ scanned``), so its timing matrix is near-collinear
+    and ``calibrate_pull_constants`` has to take the combined-cost
+    fallback. The sweep instead collects pull iterations from several
+    forced schedules, each placing the gather at a later stage of
+    convergence: once the clusters of a two-level graph have settled
+    internally, the frontier is a thin inter-cluster wavefront while the
+    gather worklist still spans whole unsettled clusters, which drives
+    the active fraction far below 1 and makes the (scanned, active)
+    design genuinely two-dimensional.
+    """
+
+    #: Push-lead lengths of the sweep: iteration ``lead + 1`` runs the
+    #: gather, everything else pushes.
+    LEADS = range(0, 12, 2)
+
+    @pytest.fixture(scope="class")
+    def sweep_records(self):
+        graph = gen.two_level_graph(8, 14, 3, seed=13)
+        push_records, pull_records = [], []
+        for lead in self.LEADS:
+            schedule = [Direction.PUSH] * lead + [
+                Direction.PULL, Direction.PUSH,
+            ]
+            config = EngineConfig(
+                direction_auto=False, forced_direction_schedule=schedule
+            )
+            result = SIMDXEngine(graph, config=config).run(WCC())
+            assert not result.failed
+            for record in result.iteration_records:
+                if record.direction == Direction.PULL.value:
+                    pull_records.append(record)
+                else:
+                    push_records.append(record)
+        return graph, push_records, pull_records
+
+    def test_sweep_varies_the_active_fraction(self, sweep_records):
+        _, _, pull_records = sweep_records
+        fractions = [
+            r.active_edges / r.frontier_edges
+            for r in pull_records if r.frontier_edges > 0
+        ]
+        assert min(fractions) < 0.5
+        assert max(fractions) > 0.9
+
+    def test_sweep_conditions_the_wcc_fit_at_rank_2(self, sweep_records):
+        _, push_records, pull_records = sweep_records
+        fit = calibrate_pull_constants(push_records, pull_records)
+        assert fit["fit_rank"] == 2
+        assert fit["fit_condition"] < COLLINEARITY_LIMIT
+        # A usable calibration: positive per-edge costs, and a scan test
+        # that is cheaper than the full push per-edge work.
+        assert fit["fitted_scan_us_per_edge"] > 0
+        assert fit["fitted_active_us_per_edge"] > 0
+        assert 0 < fit["pull_scan_over_push_edge"] < 1
+
+    def test_single_schedule_still_takes_the_fallback(self):
+        # The contrast that motivated the sweep: WCC forced pure-pull on a
+        # road-shaped graph keeps ~every scanned edge active, so without
+        # the sweep the same calibration degrades to the combined cost.
+        graph = gen.road_network_graph(20, 20, seed=11, name="road")
+        config = EngineConfig(
+            direction_auto=False, forced_direction=Direction.PULL
+        )
+        result = SIMDXEngine(graph, config=config).run(WCC())
+        pull_records = list(result.iteration_records)
+        fit = calibrate_pull_constants([], pull_records)
+        assert fit["fit_rank"] <= 1
         assert np.isnan(fit["fitted_active_us_per_edge"])
 
 
