@@ -89,3 +89,10 @@ class PageRank(ACCAlgorithm):
     def raw_ranks(self, metadata: np.ndarray) -> np.ndarray:
         """Un-normalized accumulated ranks (fixed point of the recurrence)."""
         return metadata
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "damping": self.damping,
+            "tolerance": self.tolerance,
+        }

@@ -127,3 +127,10 @@ class SSSP(ACCAlgorithm):
     def vertex_value(self, metadata: np.ndarray) -> np.ndarray:
         """Tentative distances; infinity marks unreachable vertices."""
         return metadata
+
+    def describe(self) -> dict:
+        return {
+            **super().describe(),
+            "source": self.source,
+            "delta": self.delta,
+        }

@@ -1,0 +1,152 @@
+"""Central registry of every ``RunResult.extra`` key in the repository.
+
+``RunResult.extra`` / ``BatchRunResult.extra`` are stringly-typed mappings,
+which makes them the one result surface the type system cannot protect: a
+typo'd key on the write side produces a silently-missing metric, a typo'd
+key on the read side a ``KeyError`` only on the code path a test happens to
+execute. Every key is therefore declared here, once, with a description and
+the producers that write it:
+
+* **writers** in ``src/`` reference the module-level constants
+  (``registry.FUSION`` etc.) instead of repeating string literals;
+* **readers** (tests, benchmarks, experiment scripts) may keep literal
+  keys, but the AST lint pass (:mod:`repro.analysis.lint`, rule
+  ``extra-key``) checks every literal read or written against this
+  registry - an unregistered literal is a lint failure;
+* the **runtime sanitizer** (:mod:`repro.analysis.sanitizer`) validates
+  the keys of a finished run's ``extra`` mapping against the registry, so
+  even dynamically-built keys are caught when a sanitized run ships them.
+
+Adding a key is one :func:`register` call; removing one is deleting it and
+letting the linter point at every stale reader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class ExtraKey:
+    """Declaration of one ``RunResult.extra`` key."""
+
+    name: str
+    description: str
+    #: Which code produces the key ("engine", "batch", "baseline",
+    #: "sanitizer", ...). Informational - shown by the lint CLI's
+    #: ``--list-keys``.
+    producers: Tuple[str, ...] = ()
+    #: True for cumulative accounting counters: the value is a
+    #: non-negative total that a run may only ever grow. The sanitizer
+    #: cross-checks these against the iteration records.
+    monotone_counter: bool = False
+
+
+_REGISTRY: Dict[str, ExtraKey] = {}
+
+
+def register(key: ExtraKey) -> str:
+    """Register ``key`` and return its name (for constant definitions)."""
+    if key.name in _REGISTRY:
+        raise ValueError(f"extra key {key.name!r} registered twice")
+    _REGISTRY[key.name] = key
+    return key.name
+
+
+def is_registered(name: str) -> bool:
+    return name in _REGISTRY
+
+
+def registered_keys() -> Mapping[str, ExtraKey]:
+    """Read-only view of the full registry."""
+    return dict(_REGISTRY)
+
+
+def monotone_counter_keys() -> List[str]:
+    """Names of the registered cumulative accounting counters."""
+    return [k.name for k in _REGISTRY.values() if k.monotone_counter]
+
+
+def unknown_keys(extra: Mapping[str, object]) -> List[str]:
+    """The keys of ``extra`` that are not registered (sorted)."""
+    return sorted(k for k in extra if not is_registered(k))
+
+
+# ----------------------------------------------------------------------
+# Engine keys (single-source and batched runs)
+# ----------------------------------------------------------------------
+FUSION = register(ExtraKey(
+    "fusion",
+    "Kernel-fusion strategy the run executed (FusionStrategy.value).",
+    producers=("engine", "batch"),
+))
+FILTER_MODE = register(ExtraKey(
+    "filter_mode",
+    "Task-management filter mode of the run (FilterMode.value).",
+    producers=("engine", "batch"),
+))
+DIRECTION_SWITCHES = register(ExtraKey(
+    "direction_switches",
+    "Push<->pull switches of the (union) direction selector.",
+    producers=("engine", "batch"),
+    monotone_counter=True,
+))
+BREAKDOWN = register(ExtraKey(
+    "breakdown",
+    "Per-kernel simulated-time breakdown from the device profiler.",
+    producers=("engine", "batch"),
+))
+JIT_PRE_ARMED_ITERATIONS = register(ExtraKey(
+    "jit_pre_armed_iterations",
+    "Iterations whose ballot filter was pre-armed at a pull->push switch.",
+    producers=("engine", "batch"),
+))
+
+# ----------------------------------------------------------------------
+# Batched-run amortization bookkeeping
+# ----------------------------------------------------------------------
+UNION_EDGES_WALKED = register(ExtraKey(
+    "union_edges_walked",
+    "Edges the union CSR walks touched across all iterations.",
+    producers=("batch",),
+    monotone_counter=True,
+))
+LANE_EDGE_PAIRS = register(ExtraKey(
+    "lane_edge_pairs",
+    "(edge, lane) pairs evaluated - what a serial execution would walk.",
+    producers=("batch",),
+    monotone_counter=True,
+))
+PULL_EDGES_SCANNED = register(ExtraKey(
+    "pull_edges_scanned",
+    "In-edges scanned by pull iterations (the quantity splitting shrinks).",
+    producers=("batch",),
+    monotone_counter=True,
+))
+SPLIT_ITERATIONS = register(ExtraKey(
+    "split_iterations",
+    "Iterations on which the batch executed as >1 sub-batch.",
+    producers=("batch",),
+))
+LANE_SPLITS = register(ExtraKey(
+    "lane_splits",
+    "Number of split iterations (len of split_iterations).",
+    producers=("batch",),
+    monotone_counter=True,
+))
+
+# ----------------------------------------------------------------------
+# Baselines and analysis
+# ----------------------------------------------------------------------
+MODEL = register(ExtraKey(
+    "model",
+    "One-line description of a baseline's execution model.",
+    producers=("baseline",),
+))
+SANITIZER = register(ExtraKey(
+    "sanitizer",
+    "Machine-readable report of the runtime sanitizer "
+    "(EngineConfig.sanitize=True): violation list + per-check counts.",
+    producers=("sanitizer",),
+))

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis import registry as extra_keys
 from repro.baselines.common import ExecutionTrace, trace_execution
 from repro.core.acc import ACCAlgorithm
 from repro.core.metrics import RunResult
@@ -85,7 +86,7 @@ class CuShaLike:
             iterations=trace.num_iterations,
             device=device.spec.name,
             kernel_launches=device.profiler.launch_count(),
-            extra={"model": "G-Shards edge list, full sweep per iteration"},
+            extra={extra_keys.MODEL: "G-Shards edge list, full sweep per iteration"},
         )
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis import registry as extra_keys
 from repro.baselines.common import CPUSpec, DEFAULT_CPU, ExecutionTrace, trace_execution
 from repro.core.acc import ACCAlgorithm
 from repro.core.metrics import RunResult
@@ -82,7 +83,7 @@ class GaloisLike:
             elapsed_us=total_us,
             iterations=trace.num_iterations,
             device=self.cpu.name,
-            extra={"model": "CPU asynchronous worklist (work stealing)"},
+            extra={extra_keys.MODEL: "CPU asynchronous worklist (work stealing)"},
         )
 
     # ------------------------------------------------------------------

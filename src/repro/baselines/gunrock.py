@@ -27,6 +27,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis import registry as extra_keys
 from repro.baselines.common import ExecutionTrace, trace_execution
 from repro.core.acc import ACCAlgorithm, CombineKind
 from repro.core.metrics import RunResult
@@ -98,7 +99,7 @@ class GunrockLike:
             iterations=trace.num_iterations,
             device=device.spec.name,
             kernel_launches=device.profiler.launch_count(),
-            extra={"model": "AFC + batch filter + atomic updates"},
+            extra={extra_keys.MODEL: "AFC + batch filter + atomic updates"},
         )
 
     # ------------------------------------------------------------------

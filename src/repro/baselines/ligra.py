@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.analysis import registry as extra_keys
 from repro.baselines.common import CPUSpec, DEFAULT_CPU, ExecutionTrace, trace_execution
 from repro.core.acc import ACCAlgorithm
 from repro.core.metrics import RunResult
@@ -61,7 +62,7 @@ class LigraLike:
             elapsed_us=total_us,
             iterations=trace.num_iterations,
             device=self.cpu.name,
-            extra={"model": "CPU push/pull frontier (edgeMap/vertexMap)"},
+            extra={extra_keys.MODEL: "CPU push/pull frontier (edgeMap/vertexMap)"},
         )
 
     def _price_trace(

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.algorithms import ALGORITHMS
+from repro.analysis import registry as extra_keys
 from repro.bench.harness import (
     BenchmarkContext,
     TABLE4_ALGORITHMS,
@@ -219,7 +220,7 @@ def table2(
             launches[strategy.value] = {
                 "kernel_launches": result.kernel_launches,
                 "iterations": result.iterations,
-                "direction_switches": result.extra.get("direction_switches", 0),
+                "direction_switches": result.extra.get(extra_keys.DIRECTION_SWITCHES, 0),
             }
     return {"registers": registers, "launches": launches}
 
@@ -381,7 +382,7 @@ def figure13(
                 )
             base = runs[FusionStrategy.NONE]
             push_pull = runs[FusionStrategy.PUSH_PULL]
-            switches = push_pull.extra.get("direction_switches", 0)
+            switches = push_pull.extra.get(extra_keys.DIRECTION_SWITCHES, 0)
             rows.append(
                 {
                     "algorithm": algorithm_name,
@@ -606,7 +607,7 @@ def phase_timings(
 def _direction_filter_row(result: RunResult, algorithm_name: str, abbrev: str) -> Dict:
     """Direction-aware JIT fidelity of one run (Figure 8 with directions)."""
     pairs = list(zip(result.direction_trace, result.filter_trace))
-    pre_armed = len(result.extra.get("jit_pre_armed_iterations", []))
+    pre_armed = len(result.extra.get(extra_keys.JIT_PRE_ARMED_ITERATIONS, []))
     return {
         "algorithm": algorithm_name,
         "graph": abbrev,
@@ -773,8 +774,8 @@ def batching_throughput(
                             if batch.elapsed_us else float("nan")
                         ),
                         "iterations": batch.iterations,
-                        "union_edges": batch.extra["union_edges_walked"],
-                        "lane_edge_pairs": batch.extra["lane_edge_pairs"],
+                        "union_edges": batch.extra[extra_keys.UNION_EDGES_WALKED],
+                        "lane_edge_pairs": batch.extra[extra_keys.LANE_EDGE_PAIRS],
                         "values_identical": identical,
                     }
                 )
@@ -856,13 +857,13 @@ def split_benefit(
                         "graph": abbrev,
                         "lanes": k,
                         "failed": False,
-                        "scanned_lane_aware": on.extra["pull_edges_scanned"],
-                        "scanned_decide_once": off.extra["pull_edges_scanned"],
-                        "walked_lane_aware": on.extra["union_edges_walked"],
-                        "walked_decide_once": off.extra["union_edges_walked"],
+                        "scanned_lane_aware": on.extra[extra_keys.PULL_EDGES_SCANNED],
+                        "scanned_decide_once": off.extra[extra_keys.PULL_EDGES_SCANNED],
+                        "walked_lane_aware": on.extra[extra_keys.UNION_EDGES_WALKED],
+                        "walked_decide_once": off.extra[extra_keys.UNION_EDGES_WALKED],
                         "ms_lane_aware": on.elapsed_ms,
                         "ms_decide_once": off.elapsed_ms,
-                        "split_iterations": on.extra["lane_splits"],
+                        "split_iterations": on.extra[extra_keys.LANE_SPLITS],
                         "values_identical": bool(
                             np.array_equal(on.values, off.values)
                         ),

@@ -68,6 +68,8 @@ from repro.core.frontier import (
     WorklistClassifier,
     threads_for_frontier,
 )
+from repro.analysis import registry as extra_keys
+from repro.analysis.sanitizer import RuntimeSanitizer
 from repro.core.fusion import FusionPlan, FusionStrategy
 from repro.core.jit import JITTaskManager
 from repro.core.metrics import BatchRunResult, IterationRecord, RunResult
@@ -141,6 +143,16 @@ class EngineConfig:
     #: the calibrated set recorded in EXPERIMENTS.md; the calibration
     #: experiments override it to test fitted alternatives.
     traffic_model: TrafficModel = DEFAULT_TRAFFIC_MODEL
+    #: Shadow every superstep with the runtime sanitizer
+    #: (:mod:`repro.analysis.sanitizer`): ACC hooks run on read-only views,
+    #: the CSR arrays are frozen, and the Compute->Combine->apply stream is
+    #: recorded and compared against the metadata each iteration. Functional
+    #: results are bit-identical; a clean run lands its report in
+    #: ``RunResult.extra["sanitizer"]``.
+    sanitize: bool = False
+    #: With ``sanitize=True``: raise :class:`SanitizerError` on the first
+    #: violation (default) or collect violations into the report only.
+    sanitize_raise: bool = True
 
     def __post_init__(self) -> None:
         if self.direction_auto and self.forced_direction is not None:
@@ -393,6 +405,25 @@ class SIMDXEngine:
     # Main loop
     # ------------------------------------------------------------------
     def _run_loop(self, algorithm: ACCAlgorithm, **params) -> RunResult:
+        sanitizer: Optional[RuntimeSanitizer] = None
+        if self.config.sanitize:
+            sanitizer = RuntimeSanitizer(
+                self.graph, raise_on_violation=self.config.sanitize_raise
+            )
+        try:
+            return self._run_loop_impl(algorithm, sanitizer, **params)
+        finally:
+            if sanitizer is not None:
+                # Unfreeze the CSR arrays on every exit path, including a
+                # raised SanitizerError - the graph outlives the run.
+                sanitizer.release()
+
+    def _run_loop_impl(
+        self,
+        algorithm: ACCAlgorithm,
+        sanitizer: Optional[RuntimeSanitizer],
+        **params,
+    ) -> RunResult:
         cfg = self.config
         graph = self.graph
         device = self.device
@@ -403,6 +434,12 @@ class SIMDXEngine:
         worklist_raw = np.asarray(state.frontier, dtype=np.int64)
         frontier = np.unique(worklist_raw)
         sortedness = 1.0
+
+        if sanitizer is not None:
+            # Wrapping after init: init owns its arrays, every later hook
+            # call is intercepted and checked.
+            algorithm = sanitizer.wrap(algorithm, lane=0)
+            sanitizer.freeze_graph()
 
         jit: Optional[JITTaskManager] = None
         standalone_filter = None
@@ -438,6 +475,8 @@ class SIMDXEngine:
         while frontier.size and iteration < max_iterations:
             iteration += 1
             prev_metadata = metadata.copy()
+            if sanitizer is not None:
+                sanitizer.begin_superstep(iteration, metadata)
 
             # ---------------- direction + worklist classification --------
             # The Beamer-style test prices the frontier by its out-edges
@@ -519,6 +558,8 @@ class SIMDXEngine:
                     active_edges=int(expansion.active_edges),
                 )
             )
+            if sanitizer is not None:
+                sanitizer.observe_record(records[-1])
             filter_trace.append(filter_name)
             direction_trace.append(direction.value)
 
@@ -532,7 +573,23 @@ class SIMDXEngine:
                 # Algorithm wants more iterations despite an empty frontier
                 # (not used by the shipped algorithms, but part of the API).
                 frontier = np.nonzero(active_mask)[0].astype(np.int64)
+            if sanitizer is not None:
+                sanitizer.end_superstep(iteration, metadata)
 
+        extra = {
+            extra_keys.FUSION: cfg.fusion.value,
+            extra_keys.FILTER_MODE: cfg.filter_mode.value,
+            extra_keys.DIRECTION_SWITCHES: selector.switches(),
+            extra_keys.BREAKDOWN: device.profiler.breakdown(),
+            # Iterations whose ballot was pre-armed at a pull->push
+            # switch (empty for non-JIT filter modes).
+            extra_keys.JIT_PRE_ARMED_ITERATIONS: (
+                jit.pre_armed_iterations() if jit is not None else []
+            ),
+        }
+        if sanitizer is not None:
+            sanitizer.validate_extra(extra)
+            extra[extra_keys.SANITIZER] = sanitizer.report()
         return RunResult(
             system=self.SYSTEM_NAME,
             algorithm=algorithm.name,
@@ -545,17 +602,7 @@ class SIMDXEngine:
             filter_trace=filter_trace,
             direction_trace=direction_trace,
             iteration_records=records,
-            extra={
-                "fusion": cfg.fusion.value,
-                "filter_mode": cfg.filter_mode.value,
-                "direction_switches": selector.switches(),
-                "breakdown": device.profiler.breakdown(),
-                # Iterations whose ballot was pre-armed at a pull->push
-                # switch (empty for non-JIT filter modes).
-                "jit_pre_armed_iterations": (
-                    jit.pre_armed_iterations() if jit is not None else []
-                ),
-            },
+            extra=extra,
         )
 
     # ------------------------------------------------------------------
@@ -621,6 +668,28 @@ class SIMDXEngine:
         lane_params: Optional[List[Dict[str, object]]] = None,
         **params,
     ) -> BatchRunResult:
+        sanitizer: Optional[RuntimeSanitizer] = None
+        if self.config.sanitize:
+            sanitizer = RuntimeSanitizer(
+                self.graph, raise_on_violation=self.config.sanitize_raise
+            )
+        try:
+            return self._run_batch_loop_impl(
+                algorithm, sources, sanitizer, lane_params=lane_params, **params
+            )
+        finally:
+            if sanitizer is not None:
+                sanitizer.release()
+
+    def _run_batch_loop_impl(
+        self,
+        algorithm: ACCAlgorithm,
+        sources: List[int],
+        sanitizer: Optional[RuntimeSanitizer],
+        *,
+        lane_params: Optional[List[Dict[str, object]]] = None,
+        **params,
+    ) -> BatchRunResult:
         cfg = self.config
         graph = self.graph
         device = self.device
@@ -646,6 +715,15 @@ class SIMDXEngine:
             lane_frontiers.append(
                 np.unique(np.asarray(state.frontier, dtype=np.int64))
             )
+        if sanitizer is not None:
+            # Wrap after cloning/init: each clone's hooks are checked on
+            # its own lane row; the prototype's flattened calls carry the
+            # lane axis explicitly.
+            clones = [
+                sanitizer.wrap(clone, lane=k) for k, clone in enumerate(clones)
+            ]
+            algorithm = sanitizer.wrap(algorithm, lane=None)
+            sanitizer.freeze_graph()
 
         # Task-management streams: the primary stream serves single-group
         # iterations and the first sub-batch of a split; a split forks a
@@ -713,6 +791,8 @@ class SIMDXEngine:
             for lane in live:
                 lane_iterations[lane] = iteration
             prev_metadata = metadata.copy()
+            if sanitizer is not None:
+                sanitizer.begin_superstep(iteration, metadata)
             batched = BatchedFrontier.from_lanes(lane_frontiers)
             union = batched.vertices
 
@@ -767,6 +847,8 @@ class SIMDXEngine:
                 iteration, live, lane_out_edges, lane_frontiers,
                 pull_estimate, union_direction, policy, pull_scan_fraction,
             )
+            if sanitizer is not None:
+                sanitizer.check_groups(iteration, live, groups)
             if len(groups) > 1:
                 split_iterations.append(iteration)
                 if jit_main is not None and jit_side is None:
@@ -826,6 +908,12 @@ class SIMDXEngine:
                         batched if len(groups) == 1
                         else batched.sub_batch(group_lanes)
                     )
+                    if sanitizer is not None:
+                        # Before expansion: group lanes' frontiers are
+                        # still the iteration-start ones here.
+                        sanitizer.check_sub_batch(
+                            view, group_lanes, lane_frontiers, iteration
+                        )
                     group_frontier = (
                         union if len(groups) == 1 else view.vertices
                     )
@@ -925,11 +1013,15 @@ class SIMDXEngine:
                         active_lanes=len(group_lanes),
                     )
                 )
+                if sanitizer is not None:
+                    sanitizer.observe_record(records[-1])
                 group_directions.append(direction.value)
                 group_filters.append(filter_name)
 
             filter_trace.append("+".join(group_filters))
             direction_trace.append("+".join(group_directions))
+            if sanitizer is not None:
+                sanitizer.end_superstep(iteration, metadata)
 
         pre_armed: List[int] = []
         for manager in (jit_main, jit_side, *retired_side_jits):
@@ -938,6 +1030,32 @@ class SIMDXEngine:
         values = np.stack(
             [clones[k].vertex_value(metadata[k]) for k in range(num_lanes)]
         )
+        extra = {
+            extra_keys.FUSION: cfg.fusion.value,
+            extra_keys.FILTER_MODE: cfg.filter_mode.value,
+            extra_keys.DIRECTION_SWITCHES: selector.switches(),
+            extra_keys.BREAKDOWN: device.profiler.breakdown(),
+            extra_keys.JIT_PRE_ARMED_ITERATIONS: sorted(set(pre_armed)),
+            # Amortization bookkeeping: edges the union walks touched vs
+            # the (edge, lane) pairs a serial execution would have
+            # walked, plus the gather share (the quantity lane-aware
+            # splitting shrinks on road-style graphs).
+            extra_keys.UNION_EDGES_WALKED: sum(
+                r.frontier_edges for r in records
+            ),
+            extra_keys.LANE_EDGE_PAIRS: sum(
+                r.lane_edge_pairs for r in records
+            ),
+            extra_keys.PULL_EDGES_SCANNED: sum(
+                r.frontier_edges for r in records
+                if r.direction == Direction.PULL.value
+            ),
+            extra_keys.SPLIT_ITERATIONS: split_iterations,
+            extra_keys.LANE_SPLITS: len(split_iterations),
+        }
+        if sanitizer is not None:
+            sanitizer.validate_extra(extra)
+            extra[extra_keys.SANITIZER] = sanitizer.report()
         return BatchRunResult(
             system=self.SYSTEM_NAME,
             algorithm=algorithm.name,
@@ -953,25 +1071,7 @@ class SIMDXEngine:
             filter_trace=filter_trace,
             direction_trace=direction_trace,
             iteration_records=records,
-            extra={
-                "fusion": cfg.fusion.value,
-                "filter_mode": cfg.filter_mode.value,
-                "direction_switches": selector.switches(),
-                "breakdown": device.profiler.breakdown(),
-                "jit_pre_armed_iterations": sorted(set(pre_armed)),
-                # Amortization bookkeeping: edges the union walks touched vs
-                # the (edge, lane) pairs a serial execution would have
-                # walked, plus the gather share (the quantity lane-aware
-                # splitting shrinks on road-style graphs).
-                "union_edges_walked": sum(r.frontier_edges for r in records),
-                "lane_edge_pairs": sum(r.lane_edge_pairs for r in records),
-                "pull_edges_scanned": sum(
-                    r.frontier_edges for r in records
-                    if r.direction == Direction.PULL.value
-                ),
-                "split_iterations": split_iterations,
-                "lane_splits": len(split_iterations),
-            },
+            extra=extra,
         )
 
     # ------------------------------------------------------------------

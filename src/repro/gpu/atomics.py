@@ -28,9 +28,17 @@ class AtomicProfile:
     max_contention: int     # updates hitting the single hottest address
 
     def scaled(self, factor: float) -> "AtomicProfile":
-        """Scale the op count (e.g. when only a fraction issues atomics)."""
+        """Scale the op count (e.g. when only a fraction issues atomics).
+
+        Rounds to nearest rather than truncating, and never scales a
+        non-empty profile down to zero ops: any positive fraction of a
+        non-empty batch still issues at least one atomic.
+        """
+        num_ops = int(round(self.num_ops * factor))
+        if num_ops == 0 and self.num_ops > 0 and factor > 0:
+            num_ops = 1
         return AtomicProfile(
-            num_ops=int(self.num_ops * factor),
+            num_ops=num_ops,
             contention=self.contention,
             max_contention=self.max_contention,
         )

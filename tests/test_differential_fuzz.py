@@ -25,6 +25,7 @@ marker and runs in the nightly bench-smoke job (REPRO_RUN_SLOW=1).
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List
 
 import numpy as np
@@ -46,8 +47,21 @@ from repro.graph import generators as gen
 from repro.graph.csr import CSRGraph
 from tests.conftest import assert_distances_equal
 
-FORCED_PUSH = EngineConfig(direction_auto=False, forced_direction=Direction.PUSH)
-FORCED_PULL = EngineConfig(direction_auto=False, forced_direction=Direction.PULL)
+#: ``REPRO_SANITIZE=1`` runs the whole matrix with the runtime sanitizer
+#: armed (``EngineConfig.sanitize``): any combine bypass, phase-order
+#: violation, lane remap, CSR mutation or accounting inconsistency raises
+#: instead of silently passing the differential checks. CI sets it on the
+#: static-analysis job and on the nightly slow matrix.
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+def _config(**kwargs) -> EngineConfig:
+    kwargs.setdefault("sanitize", SANITIZE)
+    return EngineConfig(**kwargs)
+
+
+FORCED_PUSH = _config(direction_auto=False, forced_direction=Direction.PUSH)
+FORCED_PULL = _config(direction_auto=False, forced_direction=Direction.PULL)
 
 
 # ----------------------------------------------------------------------
@@ -224,7 +238,7 @@ def _check_single_source_modes(graph, case_name, seed, *, with_schedules):
     make_algo, oracle = ALGORITHM_CASES[case_name](graph, rng)
 
     auto_algo = make_algo()
-    auto = SIMDXEngine(graph).run(auto_algo)
+    auto = SIMDXEngine(graph, config=_config()).run(auto_algo)
     assert not auto.failed, auto.failure_reason
     oracle(auto.values, auto_algo)
 
@@ -238,7 +252,7 @@ def _check_single_source_modes(graph, case_name, seed, *, with_schedules):
 
     if with_schedules:
         schedule = _random_direction_schedule(rng)
-        config = EngineConfig(
+        config = _config(
             direction_auto=False, forced_direction_schedule=schedule
         )
         scheduled = SIMDXEngine(graph, config=config).run(make_algo())
@@ -259,13 +273,13 @@ def _check_batched_modes(graph, case_name, seed, lane_counts):
         if source not in single_values:
             algo = make_algo()
             algo.source = source
-            single_values[source] = SIMDXEngine(graph).run(algo).values
+            single_values[source] = SIMDXEngine(graph, config=_config()).run(algo).values
         return single_values[source]
 
     batch_configs = {
-        "split-on": EngineConfig(split_margin=0.0),
-        "split-off": EngineConfig(lane_aware_split=False),
-        "split-forced": EngineConfig(
+        "split-on": _config(split_margin=0.0),
+        "split-off": _config(lane_aware_split=False),
+        "split-forced": _config(
             split_schedule=_random_split_schedule(seed)
         ),
     }

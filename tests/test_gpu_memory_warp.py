@@ -171,6 +171,20 @@ class TestAtomicsProfiling:
         assert p.num_ops == 50
         assert p.max_contention == 100
 
+    def test_scaled_rounds_to_nearest(self):
+        p = profile_atomic_updates(np.zeros(101, dtype=np.int64)).scaled(0.99)
+        assert p.num_ops == 100  # int() truncation would give 99
+
+    def test_scaled_floors_nonempty_at_one_op(self):
+        p = profile_atomic_updates(np.zeros(100, dtype=np.int64)).scaled(0.001)
+        assert p.num_ops == 1
+
+    def test_scaled_empty_and_zero_factor_stay_zero(self):
+        empty = profile_atomic_updates(np.array([], dtype=np.int64)).scaled(0.5)
+        assert empty.num_ops == 0
+        zeroed = profile_atomic_updates(np.zeros(100, dtype=np.int64)).scaled(0.0)
+        assert zeroed.num_ops == 0
+
     def test_combined_profile_weighted(self):
         a = profile_atomic_updates(np.zeros(100, dtype=np.int64))
         b = profile_atomic_updates(np.arange(100))
