@@ -137,6 +137,36 @@ LANE_SPLITS = register(ExtraKey(
 ))
 
 # ----------------------------------------------------------------------
+# Sharded multi-device execution (EngineConfig.num_shards > 1)
+# ----------------------------------------------------------------------
+SHARDS = register(ExtraKey(
+    "shards",
+    "Number of contiguous vertex-range shards the run executed on "
+    "(== EngineConfig.num_shards).",
+    producers=("shard",),
+))
+SHARD_BOUNDARY_UPDATES = register(ExtraKey(
+    "shard_boundary_updates",
+    "Valid updates that crossed a shard boundary (push updates routed to "
+    "a remote owner + pull gathers reading a remote source) - the "
+    "exchange traffic of the per-superstep merge.",
+    producers=("shard",),
+    monotone_counter=True,
+))
+SHARD_SCANNED_EDGES = register(ExtraKey(
+    "shard_scanned_edges",
+    "Per-shard scanned-edge totals (list of len shards); sums to the "
+    "run's iteration-record frontier_edges total.",
+    producers=("shard",),
+))
+SHARD_PEAK_BYTES = register(ExtraKey(
+    "shard_peak_bytes",
+    "Per-shard peak simulated device memory (list of len shards) - the "
+    "quantity the Table-4 OOM regression bounds against one device.",
+    producers=("shard",),
+))
+
+# ----------------------------------------------------------------------
 # Baselines and analysis
 # ----------------------------------------------------------------------
 MODEL = register(ExtraKey(

@@ -149,6 +149,9 @@ class RuntimeSanitizer:
         self._supersteps = 0
         self._iteration = 0
         self._last_record_iteration = 0
+        # Running frontier_edges total over the observed records - the
+        # ground truth the per-shard scanned-edge breakdown must sum to.
+        self._record_frontier_edges = 0
         # (array, previous writeable flag) of every frozen CSR array.
         self._frozen: List[Tuple[np.ndarray, bool]] = []
         self._frozen_ids: set = set()
@@ -362,6 +365,7 @@ class RuntimeSanitizer:
         self._last_record_iteration = max(
             self._last_record_iteration, int(record.iteration)
         )
+        self._record_frontier_edges += max(0, int(record.frontier_edges))
 
     def validate_extra(self, extra: Dict[str, object]) -> None:
         """Registry + counter checks on a finished run's extra mapping."""
@@ -386,6 +390,56 @@ class RuntimeSanitizer:
                 self._violation(
                     ViolationKind.ACCOUNTING,
                     f"counter extra[{key!r}] is negative ({value!r})",
+                )
+        self._validate_shard_extra(extra)
+
+    def _validate_shard_extra(self, extra: Dict[str, object]) -> None:
+        """Per-shard counter invariants of a sharded run's extra keys."""
+        if registry.SHARDS not in extra:
+            return
+        self._checks["shard_extra"] += 1
+        shards = extra[registry.SHARDS]
+        if not isinstance(shards, (int, np.integer)) or shards < 1:
+            self._violation(
+                ViolationKind.ACCOUNTING,
+                f"extra[{registry.SHARDS!r}] must be a positive integer, "
+                f"got {shards!r}",
+            )
+            return
+        for key in (registry.SHARD_SCANNED_EDGES, registry.SHARD_PEAK_BYTES):
+            value = extra.get(key)
+            if value is None:
+                self._violation(
+                    ViolationKind.ACCOUNTING,
+                    f"sharded run is missing extra[{key!r}]",
+                )
+                continue
+            values = list(value)
+            if len(values) != int(shards):
+                self._violation(
+                    ViolationKind.ACCOUNTING,
+                    f"extra[{key!r}] has {len(values)} entries for "
+                    f"{int(shards)} shards",
+                )
+                continue
+            if any(
+                not isinstance(v, (int, np.integer)) or v < 0 for v in values
+            ):
+                self._violation(
+                    ViolationKind.ACCOUNTING,
+                    f"extra[{key!r}] entries must be non-negative integers, "
+                    f"got {values!r}",
+                )
+                continue
+            if (
+                key == registry.SHARD_SCANNED_EDGES
+                and sum(int(v) for v in values) != self._record_frontier_edges
+            ):
+                self._violation(
+                    ViolationKind.ACCOUNTING,
+                    f"sum(extra[{key!r}]) = {sum(int(v) for v in values)} "
+                    f"disagrees with the iteration records' frontier_edges "
+                    f"total {self._record_frontier_edges}",
                 )
 
     # ------------------------------------------------------------------

@@ -7,9 +7,10 @@ examples can all consume them. EXPERIMENTS.md records the observed outputs
 next to the paper's numbers; running ``python -m repro.bench.experiments``
 regenerates it from :func:`phase_timings` (the per-algorithm, per-phase
 timing baseline plus the traffic-model calibration),
-:func:`gather_refinement` and :func:`batching_throughput` (the batched
+:func:`gather_refinement`, :func:`batching_throughput` (the batched
 multi-source serving sweep, which is this repository's own experiment
-rather than a paper artifact).
+rather than a paper artifact) and :func:`shard_scaling` (the sharded
+multi-device feasibility sweep, likewise beyond the paper).
 """
 
 from __future__ import annotations
@@ -872,6 +873,117 @@ def split_benefit(
     return {"rows": rows}
 
 
+# ----------------------------------------------------------------------
+# Sharded multi-device execution: scaling past one device's memory
+# ----------------------------------------------------------------------
+#: Graph shapes whose K=16 batch OOMs one modeled K40 (the §5 blank
+#: cells): TW's lane metadata lands on top of a near-capacity CSR, ER's
+#: 50.9M modeled vertices make the lane arrays alone exceed the device.
+SHARD_SCALING_SHAPES = ("TW", "ER")
+
+#: The shard-count sweep: single device (the feasibility baseline the
+#: other counts are compared against), then 2 and 4 simulated devices.
+SHARD_COUNTS_SWEEP = (1, 2, 4)
+
+
+def shard_scaling(
+    ctx: BenchmarkContext,
+    lane_counts: Sequence[int] = (4, 16),
+    algorithms: Sequence[str] = ("bfs", "sssp"),
+    graphs: Optional[Sequence[str]] = None,
+    shard_counts: Sequence[int] = SHARD_COUNTS_SWEEP,
+) -> Dict:
+    """Batched feasibility and cost versus ``EngineConfig.num_shards``.
+
+    For each (algorithm, graph, K) cell this answers the same K
+    highest-degree sources once per shard count. The headline rows are
+    the ones where the single-device batch OOMs (its K lane-metadata
+    arrays do not fit the modeled K40) but the same batch completes on
+    2 and 4 shards, every per-shard peak under the single-device
+    budget - the multi-device analogue of Table 4's blank cells. Every
+    completed sharded batch is verified bit-identical per lane against
+    independent single-source runs, and the boundary-update count
+    records the exchange traffic the partition paid for the capacity.
+    """
+    if graphs is None:
+        graphs = [g for g in ctx.datasets if g in SHARD_SCALING_SHAPES]
+        if not graphs:
+            graphs = list(ctx.datasets)
+    rows: List[Dict] = []
+    for algorithm_name in algorithms:
+        for abbrev in graphs:
+            graph = ctx.graph(abbrev)
+            for k in lane_counts:
+                if k > graph.num_vertices:
+                    continue
+                sources = default_sources(graph, k)
+                reference: Optional[List[np.ndarray]] = None
+                for num_shards in shard_counts:
+                    engine = SIMDXEngine(
+                        graph,
+                        device=GPUDevice(ctx.device_spec),
+                        config=EngineConfig(num_shards=num_shards),
+                    )
+                    batch = engine.run_batch(
+                        make_algorithm(algorithm_name, graph), sources
+                    )
+                    if batch.failed:
+                        rows.append(
+                            {
+                                "algorithm": algorithm_name,
+                                "graph": abbrev,
+                                "lanes": k,
+                                "shards": num_shards,
+                                "failed": True,
+                                "failure_reason": batch.failure_reason,
+                                "device": batch.device,
+                            }
+                        )
+                        continue
+                    # The oracle is K independent single-source runs
+                    # (which always fit: single-run metadata is two
+                    # arrays, not 2K) - grown once per cell, lazily,
+                    # because an all-OOM cell never reads it.
+                    if reference is None:
+                        reference = [
+                            run_simdx(
+                                graph,
+                                make_algorithm(
+                                    algorithm_name, graph, source=source
+                                ),
+                                device_spec=ctx.device_spec,
+                            ).values
+                            for source in sources
+                        ]
+                    identical = all(
+                        np.array_equal(batch.values[lane], reference[lane])
+                        for lane in range(k)
+                    )
+                    if num_shards > 1:
+                        peak = max(batch.extra[extra_keys.SHARD_PEAK_BYTES])
+                        boundary = batch.extra[
+                            extra_keys.SHARD_BOUNDARY_UPDATES
+                        ]
+                    else:
+                        peak = engine.device.profiler.peak_allocated_bytes
+                        boundary = 0
+                    rows.append(
+                        {
+                            "algorithm": algorithm_name,
+                            "graph": abbrev,
+                            "lanes": k,
+                            "shards": num_shards,
+                            "failed": False,
+                            "batch_ms": batch.elapsed_ms,
+                            "device": batch.device,
+                            "boundary_updates": boundary,
+                            "max_peak_bytes": peak,
+                            "values_identical": identical,
+                        }
+                    )
+    return {"rows": rows}
+
+
 def generate_experiments_md(
     path: str = "EXPERIMENTS.md",
     *,
@@ -891,8 +1003,9 @@ def generate_experiments_md(
     refinement = gather_refinement(ctx)
     batching = batching_throughput(ctx)
     split = split_benefit(ctx)
+    shard = shard_scaling(ctx)
     text = render_experiments_md(
-        timings, refinement, batching=batching, split=split,
+        timings, refinement, batching=batching, split=split, shard=shard,
         scale=scale, datasets=datasets,
     )
     with open(path, "w") as handle:

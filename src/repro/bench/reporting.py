@@ -257,6 +257,7 @@ def render_experiments_md(
     *,
     batching: Optional[Dict] = None,
     split: Optional[Dict] = None,
+    shard: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -265,9 +266,11 @@ def render_experiments_md(
     ``timings`` is :func:`repro.bench.experiments.phase_timings` output,
     ``refinement`` is :func:`repro.bench.experiments.gather_refinement`
     output, ``batching`` (optional) is
-    :func:`repro.bench.experiments.batching_throughput` output and
+    :func:`repro.bench.experiments.batching_throughput` output,
     ``split`` (optional) is :func:`repro.bench.experiments.split_benefit`
-    output. The document is deterministic for a fixed (scale, datasets)
+    output and ``shard`` (optional) is
+    :func:`repro.bench.experiments.shard_scaling` output. The document is
+    deterministic for a fixed (scale, datasets)
     configuration, so future PRs can diff their regenerated copy against
     the committed baseline.
     """
@@ -507,6 +510,43 @@ def render_experiments_md(
                          "yes" if r["values_identical"] else "NO")
                     )
                     for r in split["rows"]
+                ],
+            )
+        )
+
+    if shard is not None and shard["rows"]:
+        parts.append("\n## 7. Sharded multi-device scaling\n")
+        parts.append(
+            "The same K queries answered at `EngineConfig(num_shards=N)` "
+            "for N in {1, 2, 4}: the graph is partitioned into contiguous "
+            "vertex ranges balanced by out-edges, each range owning its "
+            "metadata (and lane-metadata) slice on its own simulated "
+            "device (see docs/sharding.md). `OOM` rows at N=1 are the §5 "
+            "blank cells - the K lane-metadata arrays exceed one K40 - "
+            "and the same batch completing at N=2/4 with `peak` (the "
+            "largest per-shard simulated high-water mark) under the "
+            "12 GiB single-device budget is the capacity claim. "
+            "`boundary` counts valid updates that crossed a shard "
+            "boundary - the exchange traffic the partition pays. Every "
+            "completed cell is verified bit-identical per lane against "
+            "K independent single-source runs.\n"
+        )
+        parts.append(
+            _md_table(
+                ["algorithm", "graph", "K", "shards", "device", "batch ms",
+                 "boundary", "peak GB", "identical"],
+                [
+                    (
+                        (r["algorithm"], r["graph"], r["lanes"],
+                         r["shards"], r["device"], "OOM", None, None, None)
+                        if r["failed"] else
+                        (r["algorithm"], r["graph"], r["lanes"],
+                         r["shards"], r["device"],
+                         round(r["batch_ms"], 3), r["boundary_updates"],
+                         round(r["max_peak_bytes"] / 1024 ** 3, 2),
+                         "yes" if r["values_identical"] else "NO")
+                    )
+                    for r in shard["rows"]
                 ],
             )
         )

@@ -153,8 +153,21 @@ class EngineConfig:
     #: With ``sanitize=True``: raise :class:`SanitizerError` on the first
     #: violation (default) or collect violations into the report only.
     sanitize_raise: bool = True
+    #: Partition the graph into this many contiguous vertex-range shards,
+    #: each with its own simulated device, memory budget, frontier slice
+    #: and direction/JIT state; supersteps run as local push/pull
+    #: expansion plus a boundary-update merge (docs/sharding.md). Results
+    #: are bit-identical to ``num_shards=1``; only the memory ceiling and
+    #: the cost accounting change. With ``num_shards > 1`` the batched
+    #: lane-split knobs (``lane_aware_split``, ``split_schedule``) are
+    #: inert - per-shard direction selection replaces lane grouping.
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
         if self.direction_auto and self.forced_direction is not None:
             raise ValueError(
                 "forced_direction requires direction_auto=False; with "
@@ -250,6 +263,10 @@ class SIMDXEngine:
     # ------------------------------------------------------------------
     def run(self, algorithm: ACCAlgorithm, **params) -> RunResult:
         """Execute ``algorithm`` to convergence and return its result."""
+        if self.config.num_shards > 1:
+            from repro.shard.executor import ShardedExecutor
+
+            return ShardedExecutor(self).run(algorithm, **params)
         device = self.device
         device.profiler.reset()
         device.reset_memory()
@@ -356,6 +373,12 @@ class SIMDXEngine:
                             f"unknown algorithm parameter {key!r} in lane_params"
                         )
         num_lanes = len(sources)
+        if self.config.num_shards > 1:
+            from repro.shard.executor import ShardedExecutor
+
+            return ShardedExecutor(self).run_batch(
+                algorithm, sources, lane_params=lane_params, **params
+            )
         device.profiler.reset()
         device.reset_memory()
         self.fusion_plan.reset()
@@ -1094,6 +1117,8 @@ class SIMDXEngine:
         barrier: Optional[SoftwareGlobalBarrier],
         success_rate: float = 1.0,
         extra_lane_pairs: int = 0,
+        device: Optional[GPUDevice] = None,
+        fusion_plan: Optional[FusionPlan] = None,
     ) -> Tuple[FilterResult, str, float, float, float, float]:
         """Task management + cost accounting shared by both loops.
 
@@ -1107,7 +1132,7 @@ class SIMDXEngine:
         """
         cfg = self.config
         graph = self.graph
-        device = self.device
+        device = device if device is not None else self.device
 
         # The online/batch/atomic filters record destinations that just
         # became active, as observed by the worker that updated them.
@@ -1164,8 +1189,12 @@ class SIMDXEngine:
                 if expansion.edges_expanded else 1.0
             ),
             extra_lane_pairs=extra_lane_pairs,
+            device=device,
+            fusion_plan=fusion_plan,
         )
-        filter_us = self._charge_filter(filter_result, direction, task_kernel)
+        filter_us = self._charge_filter(
+            filter_result, direction, task_kernel, device=device
+        )
         barrier_us = self._charge_barrier(barrier)
 
         if transient_alloc is not None:
@@ -1676,14 +1705,20 @@ class SIMDXEngine:
     # ------------------------------------------------------------------
     # Cost accounting helpers
     # ------------------------------------------------------------------
-    def _make_barrier(self) -> Optional[SoftwareGlobalBarrier]:
+    def _make_barrier(
+        self,
+        device: Optional[GPUDevice] = None,
+        fusion_plan: Optional[FusionPlan] = None,
+    ) -> Optional[SoftwareGlobalBarrier]:
         if self.config.fusion == FusionStrategy.NONE:
             return None
+        device = device if device is not None else self.device
+        fusion_plan = fusion_plan if fusion_plan is not None else self.fusion_plan
         kernel_key = (
             "fused_all" if self.config.fusion == FusionStrategy.ALL else "fused_push"
         )
-        kernel = self.fusion_plan.kernel(kernel_key)
-        return SoftwareGlobalBarrier(self.device.spec, kernel)
+        kernel = fusion_plan.kernel(kernel_key)
+        return SoftwareGlobalBarrier(device.spec, kernel)
 
     def _stage_work(
         self,
@@ -1774,6 +1809,8 @@ class SIMDXEngine:
         atomic_profile=None,
         active_edge_fraction: float = 1.0,
         extra_lane_pairs: int = 0,
+        device: Optional[GPUDevice] = None,
+        fusion_plan: Optional[FusionPlan] = None,
     ) -> Tuple[float, float, Tuple[Kernel, bool]]:
         """Charge the three compute kernels.
 
@@ -1793,8 +1830,8 @@ class SIMDXEngine:
         The adjacency, offset and worklist traffic is *not* re-paid - that
         is what ``run_batch`` amortizes across lanes.
         """
-        device = self.device
-        plan = self.fusion_plan
+        device = device if device is not None else self.device
+        plan = fusion_plan if fusion_plan is not None else self.fusion_plan
         phase = plan.phase_kernels(direction)
         kernels = list(phase.launch_kernels) + list(phase.continuation_kernels)
         fused_flags = [False] * len(phase.launch_kernels) + [True] * len(
@@ -1888,9 +1925,11 @@ class SIMDXEngine:
         filter_result: FilterResult,
         direction: Direction,
         task_kernel: Tuple[Kernel, bool],
+        device: Optional[GPUDevice] = None,
     ) -> float:
         kernel, fused = task_kernel
-        result = self.device.launch(
+        device = device if device is not None else self.device
+        result = device.launch(
             KernelLaunch(
                 kernel=kernel,
                 work=filter_result.work,

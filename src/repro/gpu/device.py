@@ -155,6 +155,9 @@ class GPUDevice:
         if memory_scale <= 0:
             raise ValueError("memory_scale must be positive")
         self.spec = spec
+        #: Kept so sharded execution can build per-shard devices with the
+        #: same (possibly shrunken) budget as the device it replaces.
+        self.memory_scale = memory_scale
         self.memory_capacity = int(spec.global_memory_bytes * memory_scale)
         self._allocated = 0
         self._allocations: List[Allocation] = []

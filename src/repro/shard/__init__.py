@@ -1,0 +1,11 @@
+"""Sharded multi-device execution (``EngineConfig(num_shards=N)``).
+
+``partition`` cuts the CSR into contiguous, edge-balanced vertex
+ranges; ``executor`` runs the engine's superstep loop across one
+simulated device per range, exchanging only boundary updates at the
+per-superstep merge and staying bit-identical to single-device runs.
+"""
+
+from repro.shard.partition import ShardPlan
+
+__all__ = ["ShardPlan"]

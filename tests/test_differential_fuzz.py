@@ -325,3 +325,127 @@ def test_slow_matrix_single_source(shape, seed, case_name):
 def test_slow_matrix_batched(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
     _check_batched_modes(graph, case_name, seed, lane_counts=(1, 4, 16))
+
+
+# ----------------------------------------------------------------------
+# Sharded multi-device axis (EngineConfig.num_shards)
+# ----------------------------------------------------------------------
+#: Shard counts of the sharded axis; 1 is the single-device baseline the
+#: sharded runs must match bit-for-bit.
+SHARD_COUNTS = (2, 4)
+
+
+def _assert_shard_extra(result, num_shards):
+    """Registered shard accounting must be internally consistent."""
+    assert result.extra["shards"] == num_shards
+    scanned = result.extra["shard_scanned_edges"]
+    assert len(scanned) == num_shards
+    assert sum(scanned) == sum(
+        r.frontier_edges for r in result.iteration_records
+    )
+    assert result.extra["shard_boundary_updates"] >= 0
+    assert len(result.extra["shard_peak_bytes"]) == num_shards
+
+
+def _check_sharded_single_source(graph, case_name, seed, *, with_schedules):
+    """Sharded runs must be bit-identical to the single-device run."""
+    rng = np.random.default_rng(seed * 7919 + sum(ord(c) for c in case_name))
+    make_algo, oracle = ALGORITHM_CASES[case_name](graph, rng)
+
+    auto_algo = make_algo()
+    auto = SIMDXEngine(graph, config=_config()).run(auto_algo)
+    assert not auto.failed, auto.failure_reason
+    oracle(auto.values, auto_algo)
+
+    configs = {
+        "auto": lambda ns: _config(num_shards=ns),
+        "push": lambda ns: _config(
+            num_shards=ns, direction_auto=False,
+            forced_direction=Direction.PUSH,
+        ),
+        "pull": lambda ns: _config(
+            num_shards=ns, direction_auto=False,
+            forced_direction=Direction.PULL,
+        ),
+    }
+    if with_schedules:
+        schedule = _random_direction_schedule(rng)
+        configs["schedule"] = lambda ns: _config(
+            num_shards=ns, direction_auto=False,
+            forced_direction_schedule=schedule,
+        )
+    for num_shards in SHARD_COUNTS:
+        for mode, make_config in configs.items():
+            sharded = SIMDXEngine(graph, config=make_config(num_shards)).run(
+                make_algo()
+            )
+            assert not sharded.failed, sharded.failure_reason
+            assert np.array_equal(sharded.values, auto.values), (
+                f"{case_name} diverged on {num_shards} shards ({mode}) "
+                f"on {graph.name}"
+            )
+            _assert_shard_extra(sharded, num_shards)
+
+
+def _check_sharded_batched(graph, case_name, seed, lane_counts):
+    """Sharded batches must match the K serial single-source runs."""
+    rng = np.random.default_rng(seed * 6271 + sum(ord(c) for c in case_name))
+    make_algo, _ = ALGORITHM_CASES[case_name](graph, rng)
+    single_values: Dict[int, np.ndarray] = {}
+
+    def serial(source: int) -> np.ndarray:
+        if source not in single_values:
+            algo = make_algo()
+            algo.source = source
+            single_values[source] = (
+                SIMDXEngine(graph, config=_config()).run(algo).values
+            )
+        return single_values[source]
+
+    for k in lane_counts:
+        sources = _sources(graph, rng, k)
+        for num_shards in SHARD_COUNTS:
+            # Per-shard direction selection replaces lane-group splitting,
+            # so the split knobs are inert on the sharded path; the
+            # default config exercises exactly what ships.
+            batch = SIMDXEngine(
+                graph, config=_config(num_shards=num_shards)
+            ).run_batch(make_algo(), sources)
+            assert not batch.failed, batch.failure_reason
+            _assert_shard_extra(batch, num_shards)
+            for lane, source in enumerate(sources):
+                assert np.array_equal(batch.values[lane], serial(source)), (
+                    f"{case_name} lane {lane} (source {source}) diverged "
+                    f"on {num_shards} shards at K={len(sources)} "
+                    f"on {graph.name}"
+                )
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+@pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
+def test_small_matrix_sharded_single_source(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_sharded_single_source(graph, case_name, seed, with_schedules=False)
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+@pytest.mark.parametrize("case_name", BATCHED_CASES)
+def test_small_matrix_sharded_batched(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_sharded_batched(graph, case_name, seed, lane_counts=(1, 4))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+@pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
+def test_slow_matrix_sharded_single_source(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_sharded_single_source(graph, case_name, seed, with_schedules=True)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+@pytest.mark.parametrize("case_name", BATCHED_CASES)
+def test_slow_matrix_sharded_batched(shape, seed, case_name):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_sharded_batched(graph, case_name, seed, lane_counts=(1, 4, 16))

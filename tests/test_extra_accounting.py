@@ -100,3 +100,66 @@ class TestBatchRunAccounting:
         assert batch.direction_trace.count("push+pull") == 1
         # The split iteration owns two records; every other iteration one.
         assert len(batch.iteration_records) == batch.iterations + 1
+
+
+class TestShardedRunAccounting:
+    """Pins for the sharded executor (``EngineConfig.num_shards > 1``).
+
+    The per-shard trace joins each superstep's emitted records with "+"
+    in shard order (scatter before gather within a shard), so mixed
+    supersteps read e.g. ``push+pull``. The scanned-edge list is the
+    per-shard decomposition of the records' ``frontier_edges`` total.
+    """
+
+    def test_sssp_rmat9_two_shards(self, rmat):
+        source = int(np.argmax(rmat.out_degrees()))
+        config = EngineConfig(num_shards=2)
+        result = SIMDXEngine(rmat, config=config).run(SSSP(source=source))
+        assert not result.failed
+        assert result.device == "K40x2"
+        # Same BSP trajectory length as one device (bit-identity pins the
+        # metadata evolution; the fuzz harness pins the values).
+        assert result.iterations == 7
+        assert result.direction_trace == [
+            "push+pull", "pull+pull", "pull+pull", "pull+pull",
+            "pull+pull", "pull+pull", "push",
+        ]
+        assert result.filter_trace == [
+            "ballot+online", "online+online", "online+online",
+            "online+online", "online+online", "online+online", "online",
+        ]
+        assert result.extra["shards"] == 2
+        assert result.extra["direction_switches"] == 3
+        assert result.extra["shard_boundary_updates"] == 902
+        assert result.extra["shard_scanned_edges"] == [7722, 10431]
+        assert sum(result.extra["shard_scanned_edges"]) == sum(
+            r.frontier_edges for r in result.iteration_records
+        )
+        # Shard-mode scans differ from the single-device trace (each
+        # shard picks its own direction) but the *useful* work does not:
+        # the active-edge total matches the single-device pin above.
+        assert sum(r.active_edges for r in result.iteration_records) == 8037
+        assert len(result.iteration_records) == 13
+
+    def test_sssp_road_batch_two_shards(self, road):
+        sources = list(TestBatchRunAccounting.SOURCES)
+        config = EngineConfig(num_shards=2)
+        batch = SIMDXEngine(road, config=config).run_batch(SSSP(), sources)
+        assert not batch.failed
+        assert batch.device == "K40x2"
+        assert batch.iterations == 40
+        assert batch.lane_iterations == [40, 36, 38, 37, 39, 35, 35, 36]
+        assert batch.extra["shards"] == 2
+        assert batch.extra["shard_boundary_updates"] == 469
+        assert batch.extra["shard_scanned_edges"] == [25227, 28122]
+        assert batch.extra["union_edges_walked"] == 53349
+        assert batch.extra["lane_edge_pairs"] == 51754
+        assert batch.extra["pull_edges_scanned"] == 44818
+        # Lane-group splitting is replaced by per-shard direction
+        # selection on the sharded path - its accounting reports inert.
+        assert batch.extra["split_iterations"] == []
+        assert batch.extra["lane_splits"] == 0
+        assert batch.direction_trace[:4] == [
+            "push", "push+pull", "push+pull", "push+pull",
+        ]
+        assert len(batch.iteration_records) == 83
