@@ -103,6 +103,22 @@ JIT_PRE_ARMED_ITERATIONS = register(ExtraKey(
     producers=("engine", "batch"),
 ))
 
+KERNEL_BACKEND = register(ExtraKey(
+    "kernel_backend",
+    "Execution backend of the CSR-walk kernel primitives "
+    "(EngineConfig.kernel_backend: 'numpy' vectorized or 'python' "
+    "loop reference - bit-identical results, different wall-clock).",
+    producers=("engine", "batch", "shard"),
+))
+KERNEL_EDGES_WALKED = register(ExtraKey(
+    "kernel_edges_walked",
+    "Edges expanded by the backend's CSR walks across the whole run; "
+    "equals the iteration records' frontier_edges total on every path "
+    "(single, batched, sharded) - the sanitizer enforces the identity.",
+    producers=("engine", "batch", "shard"),
+    monotone_counter=True,
+))
+
 # ----------------------------------------------------------------------
 # Batched-run amortization bookkeeping
 # ----------------------------------------------------------------------

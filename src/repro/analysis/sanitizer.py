@@ -391,7 +391,52 @@ class RuntimeSanitizer:
                     ViolationKind.ACCOUNTING,
                     f"counter extra[{key!r}] is negative ({value!r})",
                 )
+        self._validate_kernel_extra(extra)
         self._validate_shard_extra(extra)
+
+    def _validate_kernel_extra(self, extra: Dict[str, object]) -> None:
+        """Kernel-backend invariants of a finished run's extra keys.
+
+        A run that reports its backend must report a walk counter, the
+        backend name must be a registered backend, and the walked-edge
+        total must equal the iteration records' frontier_edges total -
+        both backends expand exactly the edges the records charge for.
+        """
+        # Imported here, not at module top: repro.analysis loads before
+        # repro.core when the lint CLI starts from the analysis package,
+        # and a top-level import of repro.core.kernels would cycle back
+        # through repro.core.engine -> this module.
+        from repro.core import kernels
+
+        if registry.KERNEL_BACKEND not in extra:
+            return
+        self._checks["kernel_extra"] += 1
+        backend = extra[registry.KERNEL_BACKEND]
+        if backend not in kernels.BACKEND_NAMES:
+            self._violation(
+                ViolationKind.ACCOUNTING,
+                f"extra[{registry.KERNEL_BACKEND!r}] = {backend!r} is not a "
+                f"known kernel backend {kernels.BACKEND_NAMES}",
+            )
+        walked = extra.get(registry.KERNEL_EDGES_WALKED)
+        if walked is None:
+            self._violation(
+                ViolationKind.ACCOUNTING,
+                f"run reports extra[{registry.KERNEL_BACKEND!r}] but is "
+                f"missing extra[{registry.KERNEL_EDGES_WALKED!r}]",
+            )
+            return
+        if (
+            isinstance(walked, (int, np.integer))
+            and not isinstance(walked, bool)
+            and int(walked) != self._record_frontier_edges
+        ):
+            self._violation(
+                ViolationKind.ACCOUNTING,
+                f"extra[{registry.KERNEL_EDGES_WALKED!r}] = {int(walked)} "
+                f"disagrees with the iteration records' frontier_edges "
+                f"total {self._record_frontier_edges}",
+            )
 
     def _validate_shard_extra(self, extra: Dict[str, object]) -> None:
         """Per-shard counter invariants of a sharded run's extra keys."""
@@ -512,8 +557,10 @@ class _SanitizedCombineOp:
         self._san = sanitizer
         self._lane_key = lane_key
 
-    def segment_reduce(self, values, segment_ids, num_segments):
-        out = self._op.segment_reduce(values, segment_ids, num_segments)
+    def segment_reduce(self, values, segment_ids, num_segments, *, backend=None):
+        out = self._op.segment_reduce(
+            values, segment_ids, num_segments, backend=backend
+        )
         if self._san._snapshot is not None:
             self._san._combined_full[self._lane_key] = np.asarray(
                 out, dtype=np.float64

@@ -984,6 +984,30 @@ def shard_scaling(
     return {"rows": rows}
 
 
+# ----------------------------------------------------------------------
+# Kernel-backend wall-clock comparison (BENCH_0008.json, docs/kernels.md)
+# ----------------------------------------------------------------------
+def kernel_backend_wallclock(bench_path: Optional[str] = "BENCH_0008.json") -> Dict:
+    """The wall-clock backend comparison rendered as EXPERIMENTS.md §8.
+
+    Wall-clock seconds are host-dependent, so regenerating EXPERIMENTS.md
+    must not re-measure them (the document is diffed against the committed
+    baseline). When ``bench_path`` exists this loads the committed
+    BENCH_*.json record - the same file the CI ``bench-regression`` job
+    gates on; only when it is absent does it fall back to measuring via
+    :func:`repro.bench.harness.run_wallclock_benchmark`.
+    """
+    import json
+    import os
+
+    from repro.bench.harness import run_wallclock_benchmark
+
+    if bench_path is not None and os.path.exists(bench_path):
+        with open(bench_path, "r", encoding="utf-8") as handle:
+            return {"record": json.load(handle), "source": bench_path}
+    return {"record": run_wallclock_benchmark(), "source": "measured"}
+
+
 def generate_experiments_md(
     path: str = "EXPERIMENTS.md",
     *,
@@ -1004,9 +1028,10 @@ def generate_experiments_md(
     batching = batching_throughput(ctx)
     split = split_benefit(ctx)
     shard = shard_scaling(ctx)
+    kernel = kernel_backend_wallclock()
     text = render_experiments_md(
         timings, refinement, batching=batching, split=split, shard=shard,
-        scale=scale, datasets=datasets,
+        kernel=kernel, scale=scale, datasets=datasets,
     )
     with open(path, "w") as handle:
         handle.write(text)

@@ -258,6 +258,7 @@ def render_experiments_md(
     batching: Optional[Dict] = None,
     split: Optional[Dict] = None,
     shard: Optional[Dict] = None,
+    kernel: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -268,11 +269,14 @@ def render_experiments_md(
     output, ``batching`` (optional) is
     :func:`repro.bench.experiments.batching_throughput` output,
     ``split`` (optional) is :func:`repro.bench.experiments.split_benefit`
-    output and ``shard`` (optional) is
-    :func:`repro.bench.experiments.shard_scaling` output. The document is
+    output, ``shard`` (optional) is
+    :func:`repro.bench.experiments.shard_scaling` output and ``kernel``
+    (optional) is :func:`repro.bench.experiments.kernel_backend_wallclock`
+    output (the committed BENCH_*.json record). The document is
     deterministic for a fixed (scale, datasets)
-    configuration, so future PRs can diff their regenerated copy against
-    the committed baseline.
+    configuration - §8's wall-clock columns come from the committed
+    benchmark record, not a fresh measurement - so future PRs can diff
+    their regenerated copy against the committed baseline.
     """
     parts: List[str] = []
     parts.append("# EXPERIMENTS — measured baselines")
@@ -547,6 +551,44 @@ def render_experiments_md(
                          "yes" if r["values_identical"] else "NO")
                     )
                     for r in shard["rows"]
+                ],
+            )
+        )
+    if kernel is not None and kernel["record"]["benchmarks"]:
+        record = kernel["record"]
+        host = record.get("host", {})
+        config = record.get("config", {})
+        parts.append("\n## 8. Kernel-backend wall-clock comparison\n")
+        parts.append(
+            "The engine's CSR-walk primitives run on a selectable backend "
+            "(`EngineConfig.kernel_backend`): `numpy`, the vectorized "
+            "default, and `python`, a pure-loop reference. The two are "
+            "bit-identical on values, simulated time and every accounting "
+            "counter (the fuzz matrix and `tests/test_kernel_backend.py` "
+            "enforce it); what differs is real wall-clock, measured here. "
+            f"Numbers are from the committed `{kernel['source']}` "
+            f"(scale={config.get('scale')}, min of "
+            f"{config.get('repeats')} interleaved timeit-style samples, "
+            f"measured on {host.get('platform', 'unknown')} / "
+            f"python {host.get('python', '?')} / "
+            f"numpy {host.get('numpy', '?')}). Raw seconds are "
+            "host-specific; the CI `bench-regression` job gates only on "
+            "the numpy-over-python speedup ratio (15% tolerance) and on "
+            "the deterministic columns, which must match exactly. See "
+            "docs/kernels.md.\n"
+        )
+        parts.append(
+            _md_table(
+                ["dataset", "algorithm", "iters", "simulated ms",
+                 "kernel edges walked", "python s", "numpy s", "speedup"],
+                [
+                    (b["dataset"], b["algorithm"], b["iterations"],
+                     round(b["simulated_us"] / 1000.0, 3),
+                     b["kernel_edges_walked"],
+                     round(b["backends"]["python"]["wall_clock_s"], 4),
+                     round(b["backends"]["numpy"]["wall_clock_s"], 4),
+                     f"{b['speedup_numpy_over_python']:.2f}x")
+                    for b in record["benchmarks"]
                 ],
             )
         )

@@ -90,7 +90,12 @@ class CombineOp(enum.Enum):
         return float(self.ufunc.reduce(values))
 
     def segment_reduce(
-        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        *,
+        backend=None,
     ) -> np.ndarray:
         """Reduce ``values`` grouped by ``segment_ids`` (destination vertex).
 
@@ -98,10 +103,19 @@ class CombineOp(enum.Enum):
         produces, for every destination, the operator applied over all
         updates that target it, without any atomic read-modify-write.
 
+        ``backend`` (a :class:`repro.core.kernels.KernelBackend`) routes the
+        reduction through an engine-selected kernel backend; ``None`` (and
+        the numpy backend itself) runs the vectorized implementation below.
+        Both produce bit-identical results: SUM accumulates in input order
+        either way, MIN/MAX are order-independent for the non-NaN floats
+        the engine feeds Combine.
+
         Implementation note: ``ufunc.at`` would be the one-liner but is far
         too slow for hot loops, so SUM uses ``bincount`` and MIN/MAX use a
         sort + ``reduceat`` (both vectorized).
         """
+        if backend is not None and backend.name != "numpy":
+            return backend.segment_reduce(self, values, segment_ids, num_segments)
         out = np.full(num_segments, self.identity, dtype=np.float64)
         if not values.size:
             return out

@@ -70,6 +70,7 @@ from repro.core.frontier import (
 )
 from repro.analysis import registry as extra_keys
 from repro.analysis.sanitizer import RuntimeSanitizer
+from repro.core import kernels as kernel_backends
 from repro.core.fusion import FusionPlan, FusionStrategy
 from repro.core.jit import JITTaskManager
 from repro.core.metrics import BatchRunResult, IterationRecord, RunResult
@@ -162,11 +163,22 @@ class EngineConfig:
     #: lane-split knobs (``lane_aware_split``, ``split_schedule``) are
     #: inert - per-shard direction selection replaces lane grouping.
     num_shards: int = 1
+    #: Execution backend of the CSR-walk kernel primitives
+    #: (:mod:`repro.core.kernels`): ``"numpy"`` (vectorized, the default)
+    #: or ``"python"`` (loop-based reference). Results are bit-identical;
+    #: only wall-clock differs. Threaded through single, batched and
+    #: sharded runs; ``RunResult.extra["kernel_backend"]`` records it.
+    kernel_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         if self.num_shards < 1:
             raise ValueError(
                 f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.kernel_backend not in kernel_backends.BACKEND_NAMES:
+            raise ValueError(
+                f"unknown kernel_backend {self.kernel_backend!r}; known: "
+                f"{kernel_backends.BACKEND_NAMES}"
             )
         if self.direction_auto and self.forced_direction is not None:
             raise ValueError(
@@ -237,6 +249,13 @@ class SIMDXEngine:
             self.config.fusion, threads_per_cta=self.config.threads_per_cta
         )
         self._graph_alloc = None
+        #: Kernel backend the CSR-walk primitives run on (docs/kernels.md).
+        self.kernel = kernel_backends.get_kernel_backend(
+            self.config.kernel_backend
+        )
+        #: Edges expanded by this run's CSR walks (reset per run; equals
+        #: the iteration records' frontier_edges total).
+        self._kernel_edges_walked = 0
 
     @property
     def pull_classifier(self) -> WorklistClassifier:
@@ -263,6 +282,9 @@ class SIMDXEngine:
     # ------------------------------------------------------------------
     def run(self, algorithm: ACCAlgorithm, **params) -> RunResult:
         """Execute ``algorithm`` to convergence and return its result."""
+        # Before the shard delegation: the sharded executor walks edges
+        # through this same engine instance, so the counter covers it too.
+        self._kernel_edges_walked = 0
         if self.config.num_shards > 1:
             from repro.shard.executor import ShardedExecutor
 
@@ -373,6 +395,7 @@ class SIMDXEngine:
                             f"unknown algorithm parameter {key!r} in lane_params"
                         )
         num_lanes = len(sources)
+        self._kernel_edges_walked = 0
         if self.config.num_shards > 1:
             from repro.shard.executor import ShardedExecutor
 
@@ -609,6 +632,8 @@ class SIMDXEngine:
             extra_keys.JIT_PRE_ARMED_ITERATIONS: (
                 jit.pre_armed_iterations() if jit is not None else []
             ),
+            extra_keys.KERNEL_BACKEND: cfg.kernel_backend,
+            extra_keys.KERNEL_EDGES_WALKED: int(self._kernel_edges_walked),
         }
         if sanitizer is not None:
             sanitizer.validate_extra(extra)
@@ -816,7 +841,9 @@ class SIMDXEngine:
             prev_metadata = metadata.copy()
             if sanitizer is not None:
                 sanitizer.begin_superstep(iteration, metadata)
-            batched = BatchedFrontier.from_lanes(lane_frontiers)
+            batched = BatchedFrontier.from_lanes(
+                lane_frontiers, backend=self.kernel
+            )
             union = batched.vertices
 
             # ------------- direction: union decision + lane-aware plan ---
@@ -1075,6 +1102,8 @@ class SIMDXEngine:
             ),
             extra_keys.SPLIT_ITERATIONS: split_iterations,
             extra_keys.LANE_SPLITS: len(split_iterations),
+            extra_keys.KERNEL_BACKEND: cfg.kernel_backend,
+            extra_keys.KERNEL_EDGES_WALKED: int(self._kernel_edges_walked),
         }
         if sanitizer is not None:
             sanitizer.validate_extra(extra)
@@ -1292,6 +1321,22 @@ class SIMDXEngine:
         slot = np.repeat(np.arange(worklist.size, dtype=np.int64), counts)
         return slot, edge_idx, total
 
+    def _walk(self, csr, worklist: np.ndarray) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Backend-dispatched CSR walk; every expansion goes through here.
+
+        The numpy backend routes through the class-level :meth:`_walk_edges`
+        staticmethod (the historical entry point tests may patch); the
+        python backend runs the loop reference from
+        :mod:`repro.core.kernels`. Either way the per-run
+        ``kernel_edges_walked`` counter advances by the edges expanded.
+        """
+        if self.kernel.name == "numpy":
+            slot, edge_idx, total = self._walk_edges(csr, worklist)
+        else:
+            slot, edge_idx, total = self.kernel.walk_edges(csr, worklist)
+        self._kernel_edges_walked += int(total)
+        return slot, edge_idx, total
+
     def _expand_push(
         self,
         algorithm: ACCAlgorithm,
@@ -1303,7 +1348,7 @@ class SIMDXEngine:
         csr = graph.out_csr
         num_workers = int(frontier.size)
 
-        src_slot, edge_idx, total = self._walk_edges(csr, frontier)
+        src_slot, edge_idx, total = self._walk(csr, frontier)
         if total == 0:
             empty = np.zeros(0, dtype=np.int64)
             return _ExpansionResult(empty, empty, empty, empty, num_workers, 0, 0)
@@ -1362,7 +1407,7 @@ class SIMDXEngine:
         csr = graph.in_csr
         empty = np.zeros(0, dtype=np.int64)
 
-        dst_slot, edge_idx, total = self._walk_edges(csr, candidates)
+        dst_slot, edge_idx, total = self._walk(csr, candidates)
         if total == 0:
             # Fire the frontier hook under the same condition as push mode:
             # the frontier had out-edges to consume.
@@ -1375,8 +1420,7 @@ class SIMDXEngine:
 
         # Each gather consults the frontier bitmap: only in-edges whose
         # source is active contribute this iteration.
-        in_frontier = np.zeros(n, dtype=bool)
-        in_frontier[frontier] = True
+        in_frontier = self.kernel.membership_mask(frontier, n)
         keep = in_frontier[src]
         if not keep.all():
             dst_slot = dst_slot[keep]
@@ -1458,7 +1502,7 @@ class SIMDXEngine:
             else {g: i for i, g in enumerate(view.lane_ids)}
         )
 
-        slot, edge_idx, total = self._walk_edges(csr, union)
+        slot, edge_idx, total = self._walk(csr, union)
         if total == 0:
             return (
                 _ExpansionResult(empty, empty, empty, empty, num_workers, 0, 0),
@@ -1584,7 +1628,7 @@ class SIMDXEngine:
                         lane_frontiers[lane], metadata[lane]
                     )
 
-        dst_slot, edge_idx, total = self._walk_edges(csr, union_candidates)
+        dst_slot, edge_idx, total = self._walk(csr, union_candidates)
         if total == 0:
             fire_hooks()
             return (
@@ -1602,9 +1646,10 @@ class SIMDXEngine:
             if candidates.size == 0 or lane_frontiers[lane].size == 0:
                 continue
             candidate_rows = np.zeros(union_candidates.size, dtype=bool)
-            candidate_rows[np.searchsorted(union_candidates, candidates)] = True
-            in_frontier = np.zeros(n, dtype=bool)
-            in_frontier[lane_frontiers[lane]] = True
+            candidate_rows[
+                self.kernel.rows_in_sorted(union_candidates, candidates)
+            ] = True
+            in_frontier = self.kernel.membership_mask(lane_frontiers[lane], n)
             keep = candidate_rows[dst_slot] & in_frontier[src]
             lane_edges = np.nonzero(keep)[0]
             if lane_edges.size:
@@ -1692,7 +1737,7 @@ class SIMDXEngine:
     ) -> np.ndarray:
         """Shared Combine + apply tail; returns the changed vertices."""
         combined = algorithm.combine_op.segment_reduce(
-            updates, dst, self.graph.num_vertices
+            updates, dst, self.graph.num_vertices, backend=self.kernel
         )
         touched = np.unique(dst)
         old_values = metadata[touched]

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.direction import Direction
+from repro.core.kernels import KernelBackend, get_kernel_backend
 from repro.graph.csr import CSRGraph
 
 #: Default worklist separators (paper Section 4, "Classification of small,
@@ -283,35 +284,45 @@ class BatchedFrontier:
     #: the full batch's per-lane state. ``None`` for a full batch, where
     #: local and global ids coincide.
     lane_ids: Optional[Tuple[int, ...]] = None
+    #: Kernel backend the bitmask primitives run on (``docs/kernels.md``);
+    #: defaults to the vectorized backend and is excluded from equality.
+    backend: Optional[KernelBackend] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def _kernel(self) -> KernelBackend:
+        return self.backend or get_kernel_backend("numpy")
 
     @classmethod
-    def from_lanes(cls, lane_frontiers: List[np.ndarray]) -> "BatchedFrontier":
+    def from_lanes(
+        cls,
+        lane_frontiers: List[np.ndarray],
+        backend: Optional[KernelBackend] = None,
+    ) -> "BatchedFrontier":
         """Build the union + bitmask pair from per-lane frontiers.
 
         Each per-lane frontier is a 1-D array of vertex ids (duplicates
         tolerated); an empty array is a lane that has finished or is
-        momentarily inactive.
+        momentarily inactive. ``backend`` selects the kernel backend the
+        union/bitmask primitives (and later :meth:`lane_mask` calls) run
+        on; both backends produce bit-identical structures.
         """
         num_lanes = len(lane_frontiers)
         if num_lanes == 0:
             raise ValueError("at least one lane is required")
+        kernel = backend or get_kernel_backend("numpy")
         lanes = [
-            np.unique(np.asarray(f, dtype=np.int64)) for f in lane_frontiers
+            kernel.sorted_unique(np.asarray(f, dtype=np.int64))
+            for f in lane_frontiers
         ]
-        non_empty = [f for f in lanes if f.size]
-        if not non_empty:
-            vertices = np.zeros(0, dtype=np.int64)
-        else:
-            vertices = np.unique(np.concatenate(non_empty))
-        num_words = -(-num_lanes // LANES_PER_WORD)
-        lane_bits = np.zeros((vertices.size, num_words), dtype=np.uint64)
-        for lane, frontier in enumerate(lanes):
-            if frontier.size == 0:
-                continue
-            rows = np.searchsorted(vertices, frontier)
-            word, bit = divmod(lane, LANES_PER_WORD)
-            lane_bits[rows, word] |= np.uint64(1 << bit)
-        return cls(vertices=vertices, lane_bits=lane_bits, num_lanes=num_lanes)
+        vertices = kernel.union_sorted(lanes)
+        lane_bits = kernel.build_lane_bits(vertices, lanes, num_lanes)
+        return cls(
+            vertices=vertices,
+            lane_bits=lane_bits,
+            num_lanes=num_lanes,
+            backend=backend,
+        )
 
     @property
     def is_empty(self) -> bool:
@@ -321,8 +332,7 @@ class BatchedFrontier:
         """Boolean mask over ``vertices``: which union slots lane holds."""
         if not (0 <= lane < self.num_lanes):
             raise IndexError(f"lane {lane} out of range")
-        word, bit = divmod(lane, LANES_PER_WORD)
-        return (self.lane_bits[:, word] >> np.uint64(bit)) & np.uint64(1) == 1
+        return self._kernel().lane_mask(self.lane_bits, lane)
 
     def lane_vertices(self, lane: int) -> np.ndarray:
         """The lane's frontier (sorted, unique) recovered from the bitmask."""
@@ -371,13 +381,14 @@ class BatchedFrontier:
         if self.lane_ids is not None:
             raise ValueError("sub_batch of a sub_batch is not supported")
         sub = BatchedFrontier.from_lanes(
-            [self.lane_vertices(lane) for lane in lanes]
+            [self.lane_vertices(lane) for lane in lanes], backend=self.backend
         )
         return BatchedFrontier(
             vertices=sub.vertices,
             lane_bits=sub.lane_bits,
             num_lanes=sub.num_lanes,
             lane_ids=tuple(lanes),
+            backend=self.backend,
         )
 
     def total_memberships(self) -> int:

@@ -323,6 +323,10 @@ class ShardedExecutor:
             ),
             extra_keys.BREAKDOWN: breakdown,
             extra_keys.JIT_PRE_ARMED_ITERATIONS: sorted(pre_armed),
+            extra_keys.KERNEL_BACKEND: cfg.kernel_backend,
+            extra_keys.KERNEL_EDGES_WALKED: int(
+                self.engine._kernel_edges_walked
+            ),
             extra_keys.SHARDS: self.plan.num_shards,
             extra_keys.SHARD_BOUNDARY_UPDATES: int(boundary_updates),
             extra_keys.SHARD_SCANNED_EDGES: [
@@ -456,7 +460,7 @@ class ShardedExecutor:
                     f_s = shard_frontiers[s]
                     if f_s.size == 0:
                         continue
-                    slot, edge_idx, total = engine._walk_edges(out_csr, f_s)
+                    slot, edge_idx, total = engine._walk(out_csr, f_s)
                     job = {
                         "edges_expanded": total,
                         "active_edges": 0,
@@ -506,15 +510,14 @@ class ShardedExecutor:
 
             if any_pull:
                 in_csr = graph.in_csr
-                in_frontier = np.zeros(n, dtype=bool)
-                in_frontier[frontier] = True
+                in_frontier = engine.kernel.membership_mask(frontier, n)
                 for t in range(num_shards):
                     if directions[t] is not Direction.PULL:
                         continue
                     cand_t = shard_candidates[t]
                     if cand_t.size == 0 and shard_frontiers[t].size == 0:
                         continue
-                    dst_slot, edge_idx, total = engine._walk_edges(
+                    dst_slot, edge_idx, total = engine._walk(
                         in_csr, cand_t
                     )
                     job = {
@@ -808,7 +811,9 @@ class ShardedExecutor:
                 sanitizer.begin_superstep(iteration, metadata)
             shard_us = np.zeros(num_shards, dtype=np.float64)
 
-            batched = BatchedFrontier.from_lanes(lane_frontiers)
+            batched = BatchedFrontier.from_lanes(
+                lane_frontiers, backend=engine.kernel
+            )
             union = batched.vertices
             shard_rows = [
                 batched.vertex_range_rows(sh.start, sh.stop) for sh in shards
@@ -883,7 +888,7 @@ class ShardedExecutor:
                     union_s = union[lo:hi]
                     if union_s.size == 0:
                         continue
-                    slot, edge_idx, total = engine._walk_edges(
+                    slot, edge_idx, total = engine._walk(
                         out_csr, union_s
                     )
                     job = {
@@ -998,7 +1003,7 @@ class ShardedExecutor:
                     lo, hi = shard_rows[t]
                     if union_candidates.size == 0 and lo == hi:
                         continue
-                    dst_slot, edge_idx, total = engine._walk_edges(
+                    dst_slot, edge_idx, total = engine._walk(
                         in_csr, union_candidates
                     )
                     job = {
@@ -1030,12 +1035,14 @@ class ShardedExecutor:
                             union_candidates.size, dtype=bool
                         )
                         candidate_rows[
-                            np.searchsorted(union_candidates, candidates)
+                            engine.kernel.rows_in_sorted(
+                                union_candidates, candidates
+                            )
                         ] = True
                         if lane not in lane_bitmaps:
-                            bitmap = np.zeros(n, dtype=bool)
-                            bitmap[lane_frontiers[lane]] = True
-                            lane_bitmaps[lane] = bitmap
+                            lane_bitmaps[lane] = engine.kernel.membership_mask(
+                                lane_frontiers[lane], n
+                            )
                         keep = (
                             candidate_rows[dst_slot]
                             & lane_bitmaps[lane][src]

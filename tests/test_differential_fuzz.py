@@ -16,7 +16,13 @@ offers must agree:
   (``split_margin=0``), forced off (``lane_aware_split=False``) and under
   random forced split schedules must be bit-identical per lane to the K
   serial single-source engine runs (which the auto check ties back to the
-  oracle).
+  oracle);
+* the **kernel-backend axis** (``EngineConfig.kernel_backend``): the
+  loop-reference ``python`` backend must be bit-identical to the
+  vectorized ``numpy`` backend in every mode above. The small matrix
+  crosses it with auto/push/pull and the batched split modes; the slow
+  matrix also crosses it with random schedules, K=16 and the sharded
+  num_shards ∈ {1, 2, 4} axis.
 
 A small matrix runs in tier-1 on every push; the large matrix (more
 seeds, more graph shapes, K=16, random schedules) carries the ``slow``
@@ -60,8 +66,10 @@ def _config(**kwargs) -> EngineConfig:
     return EngineConfig(**kwargs)
 
 
-FORCED_PUSH = _config(direction_auto=False, forced_direction=Direction.PUSH)
-FORCED_PULL = _config(direction_auto=False, forced_direction=Direction.PULL)
+#: The kernel-backend axis: every differential cell that crosses it must
+#: produce bit-identical values under the loop reference and the
+#: vectorized backend (docs/kernels.md).
+KERNEL_BACKENDS = ("python", "numpy")
 
 
 # ----------------------------------------------------------------------
@@ -232,8 +240,14 @@ def _random_split_schedule(seed: int):
 # ----------------------------------------------------------------------
 # The matrix
 # ----------------------------------------------------------------------
-def _check_single_source_modes(graph, case_name, seed, *, with_schedules):
-    """Oracle + push/pull (+ scheduled) agreement for one (graph, algo)."""
+def _check_single_source_modes(
+    graph, case_name, seed, *, with_schedules, backends=("numpy",)
+):
+    """Oracle + push/pull (+ scheduled) agreement for one (graph, algo).
+
+    The numpy-backend auto run is the anchor (checked against the serial
+    oracle); every (mode, backend) cell must be bit-identical to it.
+    """
     rng = np.random.default_rng(seed * 7919 + sum(ord(c) for c in case_name))
     make_algo, oracle = ALGORITHM_CASES[case_name](graph, rng)
 
@@ -242,29 +256,38 @@ def _check_single_source_modes(graph, case_name, seed, *, with_schedules):
     assert not auto.failed, auto.failure_reason
     oracle(auto.values, auto_algo)
 
-    for config in (FORCED_PUSH, FORCED_PULL):
-        forced = SIMDXEngine(graph, config=config).run(make_algo())
-        assert not forced.failed, forced.failure_reason
-        assert np.array_equal(forced.values, auto.values), (
-            f"{case_name} diverged under forced "
-            f"{config.forced_direction.value} on {graph.name}"
+    schedule = _random_direction_schedule(rng) if with_schedules else None
+    for backend in backends:
+        modes = {}
+        if backend != "numpy":
+            modes["auto"] = _config(kernel_backend=backend)
+        modes["push"] = _config(
+            direction_auto=False, forced_direction=Direction.PUSH,
+            kernel_backend=backend,
         )
-
-    if with_schedules:
-        schedule = _random_direction_schedule(rng)
-        config = _config(
-            direction_auto=False, forced_direction_schedule=schedule
+        modes["pull"] = _config(
+            direction_auto=False, forced_direction=Direction.PULL,
+            kernel_backend=backend,
         )
-        scheduled = SIMDXEngine(graph, config=config).run(make_algo())
-        assert np.array_equal(scheduled.values, auto.values), (
-            f"{case_name} diverged under a random direction schedule "
-            f"on {graph.name}"
-        )
+        if schedule is not None:
+            modes["schedule"] = _config(
+                direction_auto=False, forced_direction_schedule=schedule,
+                kernel_backend=backend,
+            )
+        for mode, config in modes.items():
+            result = SIMDXEngine(graph, config=config).run(make_algo())
+            assert not result.failed, result.failure_reason
+            assert np.array_equal(result.values, auto.values), (
+                f"{case_name} diverged in mode {mode} "
+                f"(kernel_backend={backend}) on {graph.name}"
+            )
+            assert result.extra["kernel_backend"] == backend
     return make_algo
 
 
-def _check_batched_modes(graph, case_name, seed, lane_counts):
-    """Batched K lanes × split-mode sweep vs serial single-source runs."""
+def _check_batched_modes(graph, case_name, seed, lane_counts,
+                         backends=("numpy",)):
+    """Batched K lanes × split-mode × backend sweep vs serial runs."""
     rng = np.random.default_rng(seed * 6271 + sum(ord(c) for c in case_name))
     make_algo, _ = ALGORITHM_CASES[case_name](graph, rng)
     single_values: Dict[int, np.ndarray] = {}
@@ -276,13 +299,18 @@ def _check_batched_modes(graph, case_name, seed, lane_counts):
             single_values[source] = SIMDXEngine(graph, config=_config()).run(algo).values
         return single_values[source]
 
-    batch_configs = {
-        "split-on": _config(split_margin=0.0),
-        "split-off": _config(lane_aware_split=False),
-        "split-forced": _config(
-            split_schedule=_random_split_schedule(seed)
-        ),
-    }
+    batch_configs = {}
+    for backend in backends:
+        batch_configs[f"split-on@{backend}"] = _config(
+            split_margin=0.0, kernel_backend=backend
+        )
+        batch_configs[f"split-off@{backend}"] = _config(
+            lane_aware_split=False, kernel_backend=backend
+        )
+        batch_configs[f"split-forced@{backend}"] = _config(
+            split_schedule=_random_split_schedule(seed),
+            kernel_backend=backend,
+        )
     for k in lane_counts:
         sources = _sources(graph, rng, k)
         for mode, config in batch_configs.items():
@@ -290,6 +318,7 @@ def _check_batched_modes(graph, case_name, seed, lane_counts):
                 make_algo(), sources
             )
             assert not batch.failed, batch.failure_reason
+            assert batch.extra["kernel_backend"] == config.kernel_backend
             for lane, source in enumerate(sources):
                 assert np.array_equal(batch.values[lane], serial(source)), (
                     f"{case_name} lane {lane} (source {source}) diverged "
@@ -301,14 +330,19 @@ def _check_batched_modes(graph, case_name, seed, lane_counts):
 @pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
 def test_small_matrix_single_source(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_single_source_modes(graph, case_name, seed, with_schedules=False)
+    _check_single_source_modes(
+        graph, case_name, seed, with_schedules=False,
+        backends=KERNEL_BACKENDS,
+    )
 
 
 @pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
 @pytest.mark.parametrize("case_name", BATCHED_CASES)
 def test_small_matrix_batched(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_batched_modes(graph, case_name, seed, lane_counts=(1, 4))
+    _check_batched_modes(
+        graph, case_name, seed, lane_counts=(1, 4), backends=KERNEL_BACKENDS
+    )
 
 
 @pytest.mark.slow
@@ -316,7 +350,9 @@ def test_small_matrix_batched(shape, seed, case_name):
 @pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
 def test_slow_matrix_single_source(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_single_source_modes(graph, case_name, seed, with_schedules=True)
+    _check_single_source_modes(
+        graph, case_name, seed, with_schedules=True, backends=KERNEL_BACKENDS
+    )
 
 
 @pytest.mark.slow
@@ -324,7 +360,10 @@ def test_slow_matrix_single_source(shape, seed, case_name):
 @pytest.mark.parametrize("case_name", BATCHED_CASES)
 def test_slow_matrix_batched(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_batched_modes(graph, case_name, seed, lane_counts=(1, 4, 16))
+    _check_batched_modes(
+        graph, case_name, seed, lane_counts=(1, 4, 16),
+        backends=KERNEL_BACKENDS,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -343,11 +382,15 @@ def _assert_shard_extra(result, num_shards):
     assert sum(scanned) == sum(
         r.frontier_edges for r in result.iteration_records
     )
+    # The backend walk counter covers every shard's expansions.
+    assert result.extra["kernel_edges_walked"] == sum(scanned)
     assert result.extra["shard_boundary_updates"] >= 0
     assert len(result.extra["shard_peak_bytes"]) == num_shards
 
 
-def _check_sharded_single_source(graph, case_name, seed, *, with_schedules):
+def _check_sharded_single_source(
+    graph, case_name, seed, *, with_schedules, backends=("numpy",)
+):
     """Sharded runs must be bit-identical to the single-device run."""
     rng = np.random.default_rng(seed * 7919 + sum(ord(c) for c in case_name))
     make_algo, oracle = ALGORITHM_CASES[case_name](graph, rng)
@@ -358,36 +401,38 @@ def _check_sharded_single_source(graph, case_name, seed, *, with_schedules):
     oracle(auto.values, auto_algo)
 
     configs = {
-        "auto": lambda ns: _config(num_shards=ns),
-        "push": lambda ns: _config(
+        "auto": lambda ns, kb: _config(num_shards=ns, kernel_backend=kb),
+        "push": lambda ns, kb: _config(
             num_shards=ns, direction_auto=False,
-            forced_direction=Direction.PUSH,
+            forced_direction=Direction.PUSH, kernel_backend=kb,
         ),
-        "pull": lambda ns: _config(
+        "pull": lambda ns, kb: _config(
             num_shards=ns, direction_auto=False,
-            forced_direction=Direction.PULL,
+            forced_direction=Direction.PULL, kernel_backend=kb,
         ),
     }
     if with_schedules:
         schedule = _random_direction_schedule(rng)
-        configs["schedule"] = lambda ns: _config(
+        configs["schedule"] = lambda ns, kb: _config(
             num_shards=ns, direction_auto=False,
-            forced_direction_schedule=schedule,
+            forced_direction_schedule=schedule, kernel_backend=kb,
         )
     for num_shards in SHARD_COUNTS:
-        for mode, make_config in configs.items():
-            sharded = SIMDXEngine(graph, config=make_config(num_shards)).run(
-                make_algo()
-            )
-            assert not sharded.failed, sharded.failure_reason
-            assert np.array_equal(sharded.values, auto.values), (
-                f"{case_name} diverged on {num_shards} shards ({mode}) "
-                f"on {graph.name}"
-            )
-            _assert_shard_extra(sharded, num_shards)
+        for backend in backends:
+            for mode, make_config in configs.items():
+                sharded = SIMDXEngine(
+                    graph, config=make_config(num_shards, backend)
+                ).run(make_algo())
+                assert not sharded.failed, sharded.failure_reason
+                assert np.array_equal(sharded.values, auto.values), (
+                    f"{case_name} diverged on {num_shards} shards ({mode}, "
+                    f"kernel_backend={backend}) on {graph.name}"
+                )
+                _assert_shard_extra(sharded, num_shards)
 
 
-def _check_sharded_batched(graph, case_name, seed, lane_counts):
+def _check_sharded_batched(graph, case_name, seed, lane_counts,
+                           backends=("numpy",)):
     """Sharded batches must match the K serial single-source runs."""
     rng = np.random.default_rng(seed * 6271 + sum(ord(c) for c in case_name))
     make_algo, _ = ALGORITHM_CASES[case_name](graph, rng)
@@ -405,20 +450,27 @@ def _check_sharded_batched(graph, case_name, seed, lane_counts):
     for k in lane_counts:
         sources = _sources(graph, rng, k)
         for num_shards in SHARD_COUNTS:
-            # Per-shard direction selection replaces lane-group splitting,
-            # so the split knobs are inert on the sharded path; the
-            # default config exercises exactly what ships.
-            batch = SIMDXEngine(
-                graph, config=_config(num_shards=num_shards)
-            ).run_batch(make_algo(), sources)
-            assert not batch.failed, batch.failure_reason
-            _assert_shard_extra(batch, num_shards)
-            for lane, source in enumerate(sources):
-                assert np.array_equal(batch.values[lane], serial(source)), (
-                    f"{case_name} lane {lane} (source {source}) diverged "
-                    f"on {num_shards} shards at K={len(sources)} "
-                    f"on {graph.name}"
-                )
+            for backend in backends:
+                # Per-shard direction selection replaces lane-group
+                # splitting, so the split knobs are inert on the sharded
+                # path; the default config exercises exactly what ships.
+                batch = SIMDXEngine(
+                    graph,
+                    config=_config(
+                        num_shards=num_shards, kernel_backend=backend
+                    ),
+                ).run_batch(make_algo(), sources)
+                assert not batch.failed, batch.failure_reason
+                _assert_shard_extra(batch, num_shards)
+                for lane, source in enumerate(sources):
+                    assert np.array_equal(
+                        batch.values[lane], serial(source)
+                    ), (
+                        f"{case_name} lane {lane} (source {source}) "
+                        f"diverged on {num_shards} shards at "
+                        f"K={len(sources)} (kernel_backend={backend}) "
+                        f"on {graph.name}"
+                    )
 
 
 @pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
@@ -440,7 +492,9 @@ def test_small_matrix_sharded_batched(shape, seed, case_name):
 @pytest.mark.parametrize("case_name", sorted(ALGORITHM_CASES))
 def test_slow_matrix_sharded_single_source(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_sharded_single_source(graph, case_name, seed, with_schedules=True)
+    _check_sharded_single_source(
+        graph, case_name, seed, with_schedules=True, backends=KERNEL_BACKENDS
+    )
 
 
 @pytest.mark.slow
@@ -448,4 +502,7 @@ def test_slow_matrix_sharded_single_source(shape, seed, case_name):
 @pytest.mark.parametrize("case_name", BATCHED_CASES)
 def test_slow_matrix_sharded_batched(shape, seed, case_name):
     graph = GRAPH_SHAPES[shape](seed)
-    _check_sharded_batched(graph, case_name, seed, lane_counts=(1, 4, 16))
+    _check_sharded_batched(
+        graph, case_name, seed, lane_counts=(1, 4, 16),
+        backends=KERNEL_BACKENDS,
+    )

@@ -46,6 +46,8 @@ class TestSingleRunAccounting:
         ]
         assert result.extra["direction_switches"] == 2
         assert result.extra["jit_pre_armed_iterations"] == []
+        assert result.extra["kernel_backend"] == "numpy"  # the default
+        assert result.extra["kernel_edges_walked"] == 15524
         assert sum(r.frontier_edges for r in result.iteration_records) == 15524
         assert sum(r.active_edges for r in result.iteration_records) == 8037
 
@@ -78,6 +80,9 @@ class TestBatchRunAccounting:
         assert batch.extra["union_edges_walked"] == 49305
         assert batch.extra["lane_edge_pairs"] == 51960
         assert batch.extra["pull_edges_scanned"] == 48263
+        # The backend counter counts the same union walks.
+        assert batch.extra["kernel_backend"] == "numpy"
+        assert batch.extra["kernel_edges_walked"] == 49305
         # The per-record sums are the extras' ground truth.
         assert batch.extra["union_edges_walked"] == sum(
             r.frontier_edges for r in batch.iteration_records
@@ -132,6 +137,7 @@ class TestShardedRunAccounting:
         assert result.extra["direction_switches"] == 3
         assert result.extra["shard_boundary_updates"] == 902
         assert result.extra["shard_scanned_edges"] == [7722, 10431]
+        assert result.extra["kernel_edges_walked"] == 7722 + 10431
         assert sum(result.extra["shard_scanned_edges"]) == sum(
             r.frontier_edges for r in result.iteration_records
         )
@@ -152,6 +158,7 @@ class TestShardedRunAccounting:
         assert batch.extra["shards"] == 2
         assert batch.extra["shard_boundary_updates"] == 469
         assert batch.extra["shard_scanned_edges"] == [25227, 28122]
+        assert batch.extra["kernel_edges_walked"] == 25227 + 28122
         assert batch.extra["union_edges_walked"] == 53349
         assert batch.extra["lane_edge_pairs"] == 51754
         assert batch.extra["pull_edges_scanned"] == 44818

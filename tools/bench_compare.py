@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Compare a freshly-measured BENCH_*.json against a committed baseline.
+
+The CI ``bench-regression`` job regenerates the wall-clock benchmark with
+``python -m repro.bench.harness --emit-bench-json`` and feeds both files to
+this tool, which enforces three gates:
+
+1. **determinism** - the deterministic fields of every benchmark cell
+   (iteration count, simulated time, scanned-edge counters) must match the
+   baseline *exactly*; any drift means the engine's simulated behaviour
+   changed and the baseline must be regenerated deliberately;
+2. **vectorization sanity** - for every algorithm, the numpy backend must
+   be measurably faster than the python loop backend (speedup > 1.1x) on
+   at least one dataset. Kernel-bound cells (LJ) show 2-3x; tiny-frontier
+   cells (RC/bfs) legitimately sit near parity because the swapped
+   primitives are a sliver of the per-iteration cost, so the gate is
+   per-algorithm, not per-cell;
+3. **wall-clock regression** - per cell, the numpy-over-python speedup may
+   not drop more than ``--tolerance`` (default 15%) below the baseline's.
+   Speedup ratios are machine-portable where raw seconds are not, which is
+   what makes a committed wall-clock baseline enforceable on CI runners.
+
+Exit status is 0 when all gates pass, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Tuple
+
+#: Fields of a benchmark entry that must match the baseline bit-for-bit.
+DETERMINISTIC_FIELDS = (
+    "iterations",
+    "simulated_us",
+    "kernel_launches",
+    "kernel_edges_walked",
+    "frontier_edges_total",
+)
+
+
+def load_record(path: str) -> Dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        record = json.load(handle)
+    for field in ("bench_id", "schema_version", "benchmarks"):
+        if field not in record:
+            raise ValueError(f"{path}: missing field {field!r}")
+    return record
+
+
+def index_benchmarks(record: Dict) -> Dict[Tuple[str, str], Dict]:
+    return {
+        (entry["dataset"], entry["algorithm"]): entry
+        for entry in record["benchmarks"]
+    }
+
+
+def compare(baseline: Dict, candidate: Dict, *, tolerance: float) -> List[str]:
+    """Return a list of human-readable gate failures (empty == pass)."""
+    failures: List[str] = []
+    if baseline["schema_version"] != candidate["schema_version"]:
+        failures.append(
+            f"schema_version mismatch: baseline "
+            f"{baseline['schema_version']} vs candidate "
+            f"{candidate['schema_version']}"
+        )
+        return failures
+    base_index = index_benchmarks(baseline)
+    cand_index = index_benchmarks(candidate)
+    if set(base_index) != set(cand_index):
+        missing = sorted(set(base_index) - set(cand_index))
+        extra = sorted(set(cand_index) - set(base_index))
+        failures.append(
+            f"benchmark matrix mismatch: missing={missing} extra={extra}"
+        )
+        return failures
+    best_by_algorithm: Dict[str, float] = {}
+    for key in sorted(base_index):
+        dataset, algorithm = key
+        base, cand = base_index[key], cand_index[key]
+        label = f"{dataset}/{algorithm}"
+        for field in DETERMINISTIC_FIELDS:
+            if base.get(field) != cand.get(field):
+                failures.append(
+                    f"{label}: deterministic field {field!r} drifted: "
+                    f"baseline {base.get(field)} vs candidate "
+                    f"{cand.get(field)}"
+                )
+        base_speedup = float(base["speedup_numpy_over_python"])
+        cand_speedup = float(cand["speedup_numpy_over_python"])
+        best_by_algorithm[algorithm] = max(
+            best_by_algorithm.get(algorithm, 0.0), cand_speedup
+        )
+        floor = base_speedup * (1.0 - tolerance)
+        if cand_speedup < floor:
+            failures.append(
+                f"{label}: wall-clock regression: speedup fell to "
+                f"{cand_speedup:.2f}x, more than {tolerance:.0%} below the "
+                f"baseline's {base_speedup:.2f}x (floor {floor:.2f}x)"
+            )
+    for algorithm, best in sorted(best_by_algorithm.items()):
+        if best <= 1.1:
+            failures.append(
+                f"{algorithm}: numpy backend not measurably faster than the "
+                f"python loop backend on any dataset (best speedup "
+                f"{best:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_*.json")
+    parser.add_argument("candidate", help="freshly measured BENCH_*.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed relative speedup drop (default 0.15)")
+    args = parser.parse_args(argv)
+    baseline = load_record(args.baseline)
+    candidate = load_record(args.candidate)
+    failures = compare(baseline, candidate, tolerance=args.tolerance)
+    if failures:
+        print(f"bench-compare: {len(failures)} gate failure(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    count = len(baseline["benchmarks"])
+    print(
+        f"bench-compare: OK - {count} benchmarks match "
+        f"({args.baseline} vs {args.candidate}, "
+        f"tolerance {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
