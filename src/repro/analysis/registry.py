@@ -183,6 +183,24 @@ SHARD_PEAK_BYTES = register(ExtraKey(
 ))
 
 # ----------------------------------------------------------------------
+# Serving layer (src/repro/serve/)
+# ----------------------------------------------------------------------
+SERVE_BATCH_FILL = register(ExtraKey(
+    "serve_batch_fill",
+    "Fill factor of a served batch: dispatched lanes / "
+    "AdmissionPolicy.max_batch. 1.0 means the batch formed at max-K; "
+    "smaller values mean the max_wait_ms deadline fired first.",
+    producers=("serve",),
+))
+SERVE_QUEUE_WAIT_US = register(ExtraKey(
+    "serve_queue_wait_us",
+    "Mean queue wait of the batch's lanes in microseconds: time between "
+    "a query's admission and its batch's dispatch (wall-clock in the "
+    "live server, simulated time in the bench/experiments §9 sweep).",
+    producers=("serve",),
+))
+
+# ----------------------------------------------------------------------
 # Baselines and analysis
 # ----------------------------------------------------------------------
 MODEL = register(ExtraKey(

@@ -985,9 +985,186 @@ def shard_scaling(
 
 
 # ----------------------------------------------------------------------
-# Kernel-backend wall-clock comparison (BENCH_0008.json, docs/kernels.md)
+# Serving latency under load (src/repro/serve/, docs/serving.md)
 # ----------------------------------------------------------------------
-def kernel_backend_wallclock(bench_path: Optional[str] = "BENCH_0008.json") -> Dict:
+#: ``max_wait_ms`` settings the serving sweep compares (the latency /
+#: throughput knob of the admission policy).
+SERVING_WAIT_SWEEP_MS = (0.5, 2.0, 8.0)
+
+#: Offered load as multiples of the base single-query service rate
+#: (1e6 / single-run simulated µs): under-loaded, saturating, over-loaded.
+SERVING_LOAD_SWEEP = (0.5, 2.0, 8.0)
+
+
+def serving_latency(
+    ctx: BenchmarkContext,
+    *,
+    algorithm_name: str = "bfs",
+    dataset: Optional[str] = None,
+    num_queries: int = 96,
+    source_pool: int = 24,
+    max_batch: int = 8,
+    max_queue: int = 32,
+    wait_sweep_ms: Sequence[float] = SERVING_WAIT_SWEEP_MS,
+    load_sweep: Sequence[float] = SERVING_LOAD_SWEEP,
+    seed: int = 7,
+) -> Dict:
+    """Simulated serving latency vs offered load per ``max_wait_ms``.
+
+    A deterministic discrete-event simulation of the serving layer
+    (``src/repro/serve/``): Poisson arrivals (seeded, precomputed once,
+    shared by every cell so the cells differ only in policy and load)
+    stream single queries into the *real*
+    :class:`~repro.serve.policy.AdmissionPolicy` /
+    :class:`~repro.serve.batcher.BatchFormer`, batches dispatch exactly
+    when the live server would dispatch them (at ``max_batch``, at the
+    oldest query's ``max_wait_ms`` deadline, or when the engine frees up
+    with a due batch waiting), and each dispatched composition is priced
+    by actually running it through **one reused**
+    :class:`SIMDXEngine.run_batch` - the serving contract - with results
+    cached per composition. Latency is admission to batch completion in
+    simulated time.
+
+    The sweep shows the admission policy's trade: a small ``max_wait_ms``
+    keeps p50 low when the system is under-loaded but forfeits batch fill
+    (each dispatch amortizes fewer lanes), while a large one buys fill -
+    and therefore survivable p99 - at saturation. The over-loaded column
+    also exercises shedding: arrivals that find ``max_queue`` live
+    queries are dropped and counted, not queued.
+    """
+    from repro.serve.batcher import BatchFormer, PendingQuery
+    from repro.serve.policy import AdmissionPolicy, ServerOverloaded
+
+    abbrev = dataset if dataset is not None else ctx.datasets[0]
+    graph = ctx.graph(abbrev)
+    pool = default_sources(graph, min(source_pool, graph.num_vertices))
+
+    engine = SIMDXEngine(graph, device=GPUDevice(ctx.device_spec))
+    service_cache: Dict[Tuple[int, ...], float] = {}
+
+    def service_us(sources: Tuple[int, ...]) -> float:
+        if sources not in service_cache:
+            batch = engine.run_batch(
+                make_algorithm(algorithm_name, graph, source=sources[0]),
+                list(sources),
+            )
+            if batch.failed:
+                raise RuntimeError(
+                    f"serving simulation batch failed: {batch.failure_reason}"
+                )
+            service_cache[sources] = float(batch.elapsed_us)
+        return service_cache[sources]
+
+    single_us = service_us((pool[0],))
+    base_qps = 1e6 / single_us
+    # One arrival pattern for every cell: exponential(1) gaps, scaled by
+    # the offered rate per cell. Seeded - repro-lint forbids unseeded RNG.
+    gaps = np.random.default_rng(seed).exponential(1.0, size=num_queries)
+
+    rows: List[Dict] = []
+    for wait_ms in wait_sweep_ms:
+        for load in load_sweep:
+            policy = AdmissionPolicy(
+                max_batch=max_batch, max_wait_ms=wait_ms, max_queue=max_queue
+            )
+            former = BatchFormer(policy)
+            offered_qps = base_qps * load
+            arrivals = np.cumsum(gaps) / offered_qps  # seconds
+            pending_at: List[float] = []  # admission times, FIFO
+            next_arrival = 0
+            engine_free = 0.0
+            shed = 0
+            latencies: List[float] = []
+            fills: List[float] = []
+            batches = 0
+            while next_arrival < num_queries or pending_at:
+                if not pending_at:
+                    at = float(arrivals[next_arrival])
+                    query = PendingQuery(
+                        algorithm=algorithm_name,
+                        source=pool[next_arrival % len(pool)],
+                        enqueued_at=at,
+                    )
+                    former.add(query)
+                    pending_at.append(at)
+                    next_arrival += 1
+                    continue
+                # When would the live server dispatch the current queue?
+                # At the instant it filled to max_batch, at the oldest
+                # query's deadline, or when the engine frees up -
+                # whichever is latest-but-due.
+                if len(pending_at) >= policy.max_batch:
+                    due_at = pending_at[policy.max_batch - 1]
+                else:
+                    due_at = former.next_deadline()
+                dispatch_at = max(due_at, engine_free)
+                if (
+                    next_arrival < num_queries
+                    and arrivals[next_arrival] <= dispatch_at
+                ):
+                    # An arrival lands before the dispatch: admit (or
+                    # shed) it first - it may fill the batch earlier.
+                    at = float(arrivals[next_arrival])
+                    query = PendingQuery(
+                        algorithm=algorithm_name,
+                        source=pool[next_arrival % len(pool)],
+                        enqueued_at=at,
+                    )
+                    try:
+                        former.add(query)
+                        pending_at.append(at)
+                    except ServerOverloaded:
+                        shed += 1
+                    next_arrival += 1
+                    continue
+                batch = former.next_batch(dispatch_at)
+                if batch is None:
+                    # Float rounding: the deadline (oldest + max_wait_s)
+                    # can land an ulp before should_dispatch's re-derived
+                    # `now - enqueued_at >= max_wait_s`. A picosecond
+                    # nudge is far below every reported statistic.
+                    dispatch_at += 1e-12
+                    batch = former.next_batch(dispatch_at)
+                assert batch is not None  # due_at guarantees dispatchability
+                del pending_at[: len(batch)]
+                composition = tuple(q.source for q in batch)
+                done_at = dispatch_at + service_us(composition) / 1e6
+                engine_free = done_at
+                batches += 1
+                fills.append(len(batch) / policy.max_batch)
+                latencies.extend(done_at - q.enqueued_at for q in batch)
+            lat_ms = 1e3 * np.asarray(latencies)
+            rows.append(
+                {
+                    "max_wait_ms": wait_ms,
+                    "load_multiplier": load,
+                    "offered_qps": offered_qps,
+                    "served": len(latencies),
+                    "shed": shed,
+                    "batches": batches,
+                    "p50_ms": float(np.percentile(lat_ms, 50)),
+                    "p99_ms": float(np.percentile(lat_ms, 99)),
+                    "mean_fill": float(np.mean(fills)) if fills else 0.0,
+                }
+            )
+    return {
+        "rows": rows,
+        "dataset": abbrev,
+        "algorithm": algorithm_name,
+        "num_queries": num_queries,
+        "source_pool": len(pool),
+        "max_batch": max_batch,
+        "max_queue": max_queue,
+        "base_qps": base_qps,
+        "single_query_ms": single_us / 1000.0,
+        "distinct_compositions": len(service_cache),
+    }
+
+
+# ----------------------------------------------------------------------
+# Kernel-backend wall-clock comparison (BENCH_0009.json, docs/kernels.md)
+# ----------------------------------------------------------------------
+def kernel_backend_wallclock(bench_path: Optional[str] = "BENCH_0009.json") -> Dict:
     """The wall-clock backend comparison rendered as EXPERIMENTS.md §8.
 
     Wall-clock seconds are host-dependent, so regenerating EXPERIMENTS.md
@@ -1029,9 +1206,10 @@ def generate_experiments_md(
     split = split_benefit(ctx)
     shard = shard_scaling(ctx)
     kernel = kernel_backend_wallclock()
+    serving = serving_latency(ctx)
     text = render_experiments_md(
         timings, refinement, batching=batching, split=split, shard=shard,
-        kernel=kernel, scale=scale, datasets=datasets,
+        kernel=kernel, serving=serving, scale=scale, datasets=datasets,
     )
     with open(path, "w") as handle:
         handle.write(text)

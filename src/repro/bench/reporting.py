@@ -259,6 +259,7 @@ def render_experiments_md(
     split: Optional[Dict] = None,
     shard: Optional[Dict] = None,
     kernel: Optional[Dict] = None,
+    serving: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -272,11 +273,14 @@ def render_experiments_md(
     output, ``shard`` (optional) is
     :func:`repro.bench.experiments.shard_scaling` output and ``kernel``
     (optional) is :func:`repro.bench.experiments.kernel_backend_wallclock`
-    output (the committed BENCH_*.json record). The document is
+    output (the committed BENCH_*.json record) and ``serving``
+    (optional) is :func:`repro.bench.experiments.serving_latency` output
+    (the discrete-event serving sweep). The document is
     deterministic for a fixed (scale, datasets)
     configuration - §8's wall-clock columns come from the committed
-    benchmark record, not a fresh measurement - so future PRs can diff
-    their regenerated copy against the committed baseline.
+    benchmark record, not a fresh measurement, and §9's arrivals are
+    seeded - so future PRs can diff their regenerated copy against the
+    committed baseline.
     """
     parts: List[str] = []
     parts.append("# EXPERIMENTS — measured baselines")
@@ -589,6 +593,44 @@ def render_experiments_md(
                      round(b["backends"]["numpy"]["wall_clock_s"], 4),
                      f"{b['speedup_numpy_over_python']:.2f}x")
                     for b in record["benchmarks"]
+                ],
+            )
+        )
+    if serving is not None and serving["rows"]:
+        parts.append("\n## 9. Serving latency under load\n")
+        parts.append(
+            "A deterministic discrete-event simulation of the serving "
+            "layer (`src/repro/serve/`, docs/serving.md): seeded Poisson "
+            f"arrivals ({serving['num_queries']} single "
+            f"`{serving['algorithm']}` queries over the "
+            f"{serving['source_pool']} highest-degree sources of "
+            f"{serving['dataset']}) stream into the real "
+            "`AdmissionPolicy`/`BatchFormer` "
+            f"(`max_batch={serving['max_batch']}`, "
+            f"`max_queue={serving['max_queue']}`), and every dispatched "
+            "composition is priced by running it through one reused "
+            "`SIMDXEngine.run_batch` - the serving contract. Latency is "
+            "admission to batch completion in simulated time; offered "
+            "load is a multiple of the base single-query rate "
+            f"({serving['base_qps']:.0f} q/s, one query = "
+            f"{serving['single_query_ms']:.2f} simulated ms). The sweep "
+            "shows the admission trade: small `max_wait_ms` minimizes "
+            "p50 while under-loaded but dispatches under-full batches; "
+            "large `max_wait_ms` buys fill - and survivable p99 at "
+            "saturation - by taxing every lonely query. Over-loaded "
+            "cells shed arrivals that find `max_queue` queries queued "
+            "(`shed`), the serving layer's explicit backpressure.\n"
+        )
+        parts.append(
+            _md_table(
+                ["max_wait ms", "load ×base", "offered q/s", "served",
+                 "shed", "batches", "mean fill", "p50 ms", "p99 ms"],
+                [
+                    (r["max_wait_ms"], r["load_multiplier"],
+                     round(r["offered_qps"], 0), r["served"], r["shed"],
+                     r["batches"], round(r["mean_fill"], 2),
+                     round(r["p50_ms"], 2), round(r["p99_ms"], 2))
+                    for r in serving["rows"]
                 ],
             )
         )

@@ -257,6 +257,29 @@ class SIMDXEngine:
         #: the iteration records' frontier_edges total).
         self._kernel_edges_walked = 0
 
+    def _begin_run(self) -> None:
+        """Reset all cross-run mutable state before a ``run``/``run_batch``.
+
+        One engine instance may serve any number of consecutive
+        ``run``/``run_batch`` calls (the serving layer reuses one engine
+        per device), so every piece of per-run mutable state must be
+        reset here: the profiler's records, the device's simulated
+        allocations (also cleared on the way out, but an aborted run must
+        not leak into the next), the fusion plan's active-kernel latch
+        and the kernel-edge counter. Everything else that persists on the
+        instance is a deterministic graph-derived cache (the worklist
+        classifiers, in-degrees, the lazily-built in-CSR transpose) -
+        the *intended* reuse. Per-run controllers (JIT task managers,
+        direction selector, batch direction policy, barrier) are
+        constructed inside each run. ``tests/test_engine_reuse.py`` pins
+        the contract: call N on a reused engine is bit-identical, values
+        and ``extra`` counters alike, to the same call on a fresh engine.
+        """
+        self._kernel_edges_walked = 0
+        self.device.profiler.reset()
+        self.device.reset_memory()
+        self.fusion_plan.reset()
+
     @property
     def pull_classifier(self) -> WorklistClassifier:
         """In-degree classifier for gather (pull) worklists, built lazily."""
@@ -290,9 +313,7 @@ class SIMDXEngine:
 
             return ShardedExecutor(self).run(algorithm, **params)
         device = self.device
-        device.profiler.reset()
-        device.reset_memory()
-        self.fusion_plan.reset()
+        self._begin_run()
 
         try:
             # Allocation sizes follow the modeled (paper-scale) graph so the
@@ -402,9 +423,7 @@ class SIMDXEngine:
             return ShardedExecutor(self).run_batch(
                 algorithm, sources, lane_params=lane_params, **params
             )
-        device.profiler.reset()
-        device.reset_memory()
-        self.fusion_plan.reset()
+        self._begin_run()
 
         num_words = -(-num_lanes // LANES_PER_WORD)
         try:

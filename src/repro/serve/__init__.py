@@ -1,0 +1,35 @@
+"""Asyncio serving layer: live query traffic -> ``run_batch`` batches.
+
+The front door of the reproduction's serving story (docs/serving.md):
+
+* :class:`~repro.serve.policy.AdmissionPolicy` - when a forming batch
+  dispatches (``max_batch`` / ``max_wait_ms``) and when load is shed
+  (``max_queue``);
+* :class:`~repro.serve.batcher.BatchFormer` - the per-algorithm
+  admission queues (asyncio-free, shared with the §9 latency simulation);
+* :class:`~repro.serve.server.SIMDXServer` - the asyncio server:
+  ``await submit(algorithm, source, params)``, one reused engine,
+  per-lane demultiplexing, cancellation/backpressure/failure semantics;
+* ``python -m repro.serve`` - a line-delimited JSON-over-TCP demo front
+  end (:mod:`repro.serve.__main__`).
+"""
+
+from repro.serve.batcher import BatchFormer, PendingQuery
+from repro.serve.policy import AdmissionPolicy, ServerOverloaded
+from repro.serve.server import (
+    EngineFailure,
+    SERVABLE_ALGORITHMS,
+    ServedResult,
+    SIMDXServer,
+)
+
+__all__ = [
+    "AdmissionPolicy",
+    "BatchFormer",
+    "EngineFailure",
+    "PendingQuery",
+    "SERVABLE_ALGORITHMS",
+    "ServedResult",
+    "ServerOverloaded",
+    "SIMDXServer",
+]

@@ -1,0 +1,219 @@
+"""Line-delimited JSON-over-TCP front end for :class:`SIMDXServer`.
+
+Demo CLI, not a production protocol: one JSON object per line in, one per
+line out, so the server is drivable with ``nc``/``telnet`` or a few lines
+of ``asyncio.open_connection``. Requests::
+
+    {"algorithm": "bfs", "source": 3}
+    {"algorithm": "sssp", "source": 7, "params": {"delta": 4.0}}
+    {"cmd": "stats"}
+
+Responses carry a summary instead of the raw per-vertex array (which is
+``num_vertices`` floats): the count of reached/finite vertices and the
+finite-value checksum, enough to cross-check against a direct
+``run_batch`` call. Example::
+
+    {"ok": true, "lane": 1, "batch_size": 4, "iterations": 9,
+     "elapsed_us": 1234.5, "queue_wait_ms": 1.9, "reached": 4846,
+     "values_sum": 40913.0, "batch_fill": 0.25}
+
+Run ``python -m repro.serve --demo 12`` for a self-contained demo: it
+starts the server on an ephemeral port, fires 12 concurrent BFS/SSSP
+queries through a TCP client, prints the responses and shuts down - the
+mode the docs job executes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.core.engine import EngineConfig
+from repro.graph.datasets import load_dataset
+from repro.serve.policy import AdmissionPolicy, ServerOverloaded
+from repro.serve.server import EngineFailure, SIMDXServer
+
+
+def _summarize(values: np.ndarray) -> dict:
+    finite = np.isfinite(np.asarray(values, dtype=np.float64))
+    return {
+        "reached": int(finite.sum()),
+        "values_sum": float(np.asarray(values)[finite].sum()),
+    }
+
+
+async def _process(server: SIMDXServer, request: dict) -> dict:
+    """One request -> one response payload (exceptions become errors)."""
+    if request.get("cmd") == "stats":
+        return {"ok": True, "stats": server.stats}
+    try:
+        result = await server.submit(
+            request["algorithm"],
+            request["source"],
+            request.get("params"),
+        )
+    except ServerOverloaded as exc:
+        return {"ok": False, "error": "overloaded", "detail": str(exc)}
+    except EngineFailure as exc:
+        return {"ok": False, "error": "engine_failure", "detail": exc.reason}
+    except (KeyError, ValueError) as exc:
+        return {"ok": False, "error": "bad_request", "detail": str(exc)}
+    payload = {
+        "ok": True,
+        "lane": result.lane,
+        "batch_size": result.batch_size,
+        "iterations": result.iterations,
+        "elapsed_us": result.elapsed_us,
+        "queue_wait_ms": 1000.0 * result.queue_wait_s,
+        "batch_fill": result.extra.get("serve_batch_fill"),
+    }
+    payload.update(_summarize(result.values))
+    return payload
+
+
+async def _handle_client(
+    server: SIMDXServer,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    # Requests on one connection process *concurrently* (so a pipelined
+    # client's queries can share a batch) while responses are written back
+    # in request order: the reader enqueues one task per line, the writer
+    # loop awaits them FIFO.
+    responses: "asyncio.Queue[object]" = asyncio.Queue()
+
+    async def write_responses() -> None:
+        while True:
+            task = await responses.get()
+            if task is None:
+                break
+            payload = await task
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+
+    writer_task = asyncio.ensure_future(write_responses())
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                error = {"ok": False, "error": f"bad json: {exc}"}
+
+                async def _echo(payload=error) -> dict:
+                    return payload
+
+                responses.put_nowait(asyncio.ensure_future(_echo()))
+                continue
+            responses.put_nowait(
+                asyncio.ensure_future(_process(server, request))
+            )
+        responses.put_nowait(None)
+        await writer_task
+    except (asyncio.CancelledError, ConnectionResetError):
+        # Server closing underneath us (demo teardown) or client gone.
+        writer_task.cancel()
+    finally:
+        writer.close()
+
+
+async def serve_tcp(
+    server: SIMDXServer, host: str, port: int
+) -> asyncio.AbstractServer:
+    await server.start()
+    return await asyncio.start_server(
+        lambda r, w: _handle_client(server, r, w), host, port
+    )
+
+
+async def _demo(server: SIMDXServer, host: str, port: int, count: int) -> int:
+    tcp = await serve_tcp(server, host, port)
+    port = tcp.sockets[0].getsockname()[1]
+    print(f"serving {server.graph.name} on {host}:{port}")
+    reader, writer = await asyncio.open_connection(host, port)
+    degrees = server.graph.out_degrees()
+    hubs = np.argsort(-degrees, kind="stable")[: max(count, 1)]
+    requests = []
+    for index in range(count):
+        source = int(hubs[index % len(hubs)])
+        if index % 2 == 0:
+            requests.append({"algorithm": "bfs", "source": source})
+        else:
+            requests.append({"algorithm": "sssp", "source": source,
+                             "params": {"delta": 2.0 + index % 3}})
+    # One writer, many in-flight queries: responses come back in request
+    # order per connection (the handler loop is sequential per client),
+    # but batches form across whatever is queued when the policy fires.
+    for request in requests:
+        writer.write((json.dumps(request) + "\n").encode())
+    await writer.drain()
+    for request in requests:
+        line = await reader.readline()
+        response = json.loads(line)
+        status = "ok" if response.get("ok") else response.get("error")
+        print(f"{request['algorithm']:>5} src={request['source']:<8} "
+              f"-> {status}, batch={response.get('batch_size')}, "
+              f"reached={response.get('reached')}, "
+              f"wait={response.get('queue_wait_ms', 0):.2f}ms")
+    writer.write((json.dumps({"cmd": "stats"}) + "\n").encode())
+    await writer.drain()
+    stats = json.loads(await reader.readline())["stats"]
+    print(f"stats: {stats}")
+    writer.close()
+    tcp.close()
+    await tcp.wait_closed()
+    await server.shutdown()
+    return 0
+
+
+async def _serve_forever(server: SIMDXServer, host: str, port: int) -> int:
+    tcp = await serve_tcp(server, host, port)
+    port = tcp.sockets[0].getsockname()[1]
+    print(f"serving {server.graph.name} on {host}:{port} (ctrl-C to stop)")
+    async with tcp:
+        await tcp.serve_forever()
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="JSON-over-TCP serving demo for SIMDXServer.",
+    )
+    parser.add_argument("--dataset", default="LJ",
+                        help="dataset abbreviation (default %(default)s)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="dataset scale factor (default %(default)s)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = ephemeral, printed at start)")
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--max-queue", type=int, default=1024)
+    parser.add_argument("--demo", type=int, metavar="N", default=None,
+                        help="fire N demo queries through a client and exit")
+    args = parser.parse_args(argv)
+    graph = load_dataset(args.dataset.upper(), args.scale)
+    server = SIMDXServer(
+        graph,
+        policy=AdmissionPolicy(
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+            max_queue=args.max_queue,
+        ),
+        config=EngineConfig(),
+        use_executor=True,
+    )
+    if args.demo is not None:
+        return asyncio.run(_demo(server, args.host, args.port, args.demo))
+    return asyncio.run(_serve_forever(server, args.host, args.port))
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

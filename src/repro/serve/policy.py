@@ -1,0 +1,72 @@
+"""Admission policy of the serving layer: when a forming batch dispatches.
+
+The policy is deliberately a pure, time-agnostic value object: the live
+asyncio server (:mod:`repro.serve.server`) and the deterministic
+discrete-event latency sweep (:func:`repro.bench.experiments.serving_latency`,
+EXPERIMENTS.md §9) both drive their batching decisions through the same
+three methods here, so the simulated latency numbers exercise exactly the
+admission semantics production traffic would see.
+
+Two knobs trade latency against throughput, one bounds memory:
+
+* ``max_batch`` - dispatch as soon as K queued queries of one algorithm
+  can fill a full :meth:`SIMDXEngine.run_batch` batch;
+* ``max_wait_ms`` - dispatch a partial batch once its *oldest* query has
+  waited this long, bounding the latency a lonely query pays for the
+  chance of amortization;
+* ``max_queue`` - total admission-queue bound (across algorithms): a
+  query arriving at a full queue is shed with :class:`ServerOverloaded`
+  instead of growing an unbounded backlog (explicit backpressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ServerOverloaded(RuntimeError):
+    """The admission queue is at ``max_queue``; this query was shed.
+
+    Raised synchronously by ``submit`` (before any future is created) so
+    the caller can retry with backoff - the serving analogue of HTTP 429.
+    """
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """When does a forming batch dispatch, and when do we shed load."""
+
+    max_batch: int = 16
+    max_wait_ms: float = 2.0
+    max_queue: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+
+    @property
+    def max_wait_s(self) -> float:
+        return self.max_wait_ms / 1000.0
+
+    def admits(self, queue_depth: int) -> bool:
+        """May a new query join a queue currently holding ``queue_depth``?"""
+        return queue_depth < self.max_queue
+
+    def should_dispatch(self, queue_depth: int, oldest_wait_s: float) -> bool:
+        """Dispatch when the batch is full OR the oldest query waited out.
+
+        ``queue_depth`` counts the queries of *one* algorithm (lanes of a
+        batch must share the algorithm); ``oldest_wait_s`` is how long the
+        head query has been queued, in seconds.
+        """
+        if queue_depth <= 0:
+            return False
+        return queue_depth >= self.max_batch or oldest_wait_s >= self.max_wait_s
+
+    def deadline(self, oldest_enqueued_at: float) -> float:
+        """Latest instant the head query's batch may keep forming."""
+        return oldest_enqueued_at + self.max_wait_s

@@ -1,0 +1,363 @@
+"""Asyncio serving front-end over ``SIMDXEngine.run_batch``.
+
+:class:`SIMDXServer` is the front door the ROADMAP's "millions of users"
+story needs: callers ``await submit(algorithm, source, params)`` single
+BFS/SSSP queries; the server accumulates them under an
+:class:`~repro.serve.policy.AdmissionPolicy` (dispatch at ``max_batch``
+lanes or when the oldest query has waited ``max_wait_ms``), answers each
+formed batch with **one** union-frontier ``run_batch`` call on **one
+reused engine**, and demultiplexes the per-lane results back to their
+awaiting callers. Served answers are bit-identical to a direct
+``run_batch`` call with the same batch composition
+(``tests/test_serve.py`` enforces it, sanitized in CI).
+
+The unhappy paths are part of the contract:
+
+* **cancellation** - a caller that cancels ``submit`` before its batch
+  forms is pruned from the queue (never occupies a lane); cancelled
+  after dispatch, its lane still runs and the result is discarded;
+* **backpressure** - a query arriving with ``max_queue`` live queries
+  already queued is shed synchronously with
+  :class:`~repro.serve.policy.ServerOverloaded`;
+* **engine failure** - an OOM/overflow (or a raising algorithm hook)
+  resolves exactly the affected batch's lanes with
+  :class:`EngineFailure`; queued and future batches are untouched;
+* **shutdown** - ``shutdown(drain=True)`` stops admission, dispatches
+  every queued query (ignoring ``max_wait_ms``) and resolves all
+  in-flight futures before returning.
+
+The engine's ``run_batch`` is synchronous and CPU-bound (the GPU is
+simulated), so by default it runs inline on the event loop - dispatches
+serialize, which is also what one physical device would do. Pass
+``use_executor=True`` to run batches on the default thread pool instead
+(the TCP demo does, so slow batches do not stall accepts).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS
+from repro.analysis import registry as extra_keys
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.core.metrics import BatchRunResult
+from repro.gpu.device import GPUDevice, K40
+from repro.serve.batcher import BatchFormer, PendingQuery
+from repro.serve.policy import AdmissionPolicy, ServerOverloaded
+
+__all__ = [
+    "EngineFailure",
+    "ServedResult",
+    "SIMDXServer",
+    "ServerOverloaded",
+]
+
+
+class EngineFailure(RuntimeError):
+    """The engine failed the batch this query was dispatched in.
+
+    Carries the engine's failure reason (OOM, filter overflow, a raising
+    algorithm hook). Only the lanes of the failed batch see it.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """What one caller gets back for one submitted query."""
+
+    #: This query's metadata values (lane slice of the batch result).
+    values: np.ndarray
+    #: Lane index the query occupied in its batch.
+    lane: int
+    #: Index of the batch in :attr:`SIMDXServer.batch_log` - with
+    #: ``lane``, the exact coordinates to replay this query's answer
+    #: through a direct ``run_batch`` call.
+    batch_index: int
+    #: Number of lanes the batch dispatched with.
+    batch_size: int
+    #: Iterations the batch ran (union convergence).
+    iterations: int
+    #: Simulated device time of the whole batch, microseconds.
+    elapsed_us: float
+    #: Seconds this query waited between admission and dispatch.
+    queue_wait_s: float
+    #: The batch's ``extra`` counters plus the ``serve_*`` keys
+    #: (:data:`repro.analysis.registry.SERVE_BATCH_FILL`,
+    #: :data:`~repro.analysis.registry.SERVE_QUEUE_WAIT_US`). Shared
+    #: (read-only by convention) between the batch's lanes.
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+
+#: Algorithms the server accepts: the multi-source traversals
+#: ``run_batch`` can lane-parallelize. Constructors must accept
+#: ``source=`` (the per-lane override ``run_batch`` applies at init).
+SERVABLE_ALGORITHMS: Dict[str, Callable] = {
+    name: cls
+    for name, cls in ALGORITHMS.items()
+    if getattr(cls, "supports_multi_source", False)
+}
+
+
+class SIMDXServer:
+    """Admission queue + batch former + one reused engine per device."""
+
+    def __init__(
+        self,
+        graph,
+        *,
+        policy: Optional[AdmissionPolicy] = None,
+        config: Optional[EngineConfig] = None,
+        device: Optional[GPUDevice] = None,
+        algorithms: Optional[Dict[str, Callable]] = None,
+        use_executor: bool = False,
+    ):
+        self.graph = graph
+        self.policy = policy if policy is not None else AdmissionPolicy()
+        #: One engine, reused across every dispatched batch - the
+        #: engine-reuse contract ``tests/test_engine_reuse.py`` pins
+        #: (consecutive runs bit-identical to fresh-engine runs).
+        self.engine = SIMDXEngine(
+            graph, device=device if device is not None else GPUDevice(K40),
+            config=config,
+        )
+        self._algorithms = dict(
+            algorithms if algorithms is not None else SERVABLE_ALGORITHMS
+        )
+        # Template instances, built once per algorithm: parameter names in
+        # ``submit(params=...)`` are validated against these attributes so
+        # a typo'd parameter fails its own caller synchronously instead of
+        # poisoning the whole batch inside ``run_batch``.
+        self._templates: Dict[str, object] = {}
+        self._use_executor = use_executor
+        self._former = BatchFormer(self.policy)
+        self._wake = asyncio.Event()
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._closed = False
+        self._drain_on_close = True
+        #: Composition of every dispatched batch (algorithm, sources,
+        #: lane_params) - the replay record the differential tests use to
+        #: re-run each batch directly through a fresh engine.
+        self.batch_log: List[Dict[str, object]] = []
+        #: Test seam: called with the popped batch after it leaves the
+        #: queue and before the engine runs - the only window in which a
+        #: caller counts as "cancelled after dispatch".
+        self._before_dispatch: Optional[Callable[[List[PendingQuery]], None]] = None
+        self._stats: Dict[str, float] = {
+            "submitted": 0,
+            "served": 0,
+            "shed": 0,
+            "cancelled_after_dispatch": 0,
+            "failed": 0,
+            "batches": 0,
+        }
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Serving counters (snapshot; includes the former's prune count)."""
+        snapshot = dict(self._stats)
+        snapshot["cancelled_before_dispatch"] = self._former.pruned
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SIMDXServer":
+        """Start the dispatch loop (idempotent)."""
+        if self._dispatch_task is None:
+            self._dispatch_task = asyncio.ensure_future(self._dispatch_loop())
+        return self
+
+    async def __aenter__(self) -> "SIMDXServer":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop admission; drain (default) or cancel the queued queries."""
+        self._closed = True
+        self._drain_on_close = drain
+        self._wake.set()
+        if self._dispatch_task is not None:
+            await self._dispatch_task
+            self._dispatch_task = None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def _template(self, algorithm: str):
+        if algorithm not in self._algorithms:
+            raise KeyError(
+                f"unknown or non-batchable algorithm {algorithm!r}; "
+                f"servable: {sorted(self._algorithms)}"
+            )
+        if algorithm not in self._templates:
+            self._templates[algorithm] = self._algorithms[algorithm](source=0)
+        return self._templates[algorithm]
+
+    async def submit(
+        self,
+        algorithm: str,
+        source: int,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> ServedResult:
+        """Answer one query; resolves when its batch has been served.
+
+        Raises :class:`~repro.serve.policy.ServerOverloaded` when the
+        admission queue is full, ``KeyError``/``ValueError`` on an unknown
+        algorithm / parameter / source (synchronously - before the query
+        occupies queue capacity), :class:`EngineFailure` when the engine
+        fails the batch this query was dispatched in.
+        """
+        if self._closed:
+            raise RuntimeError("server is shut down")
+        template = self._template(algorithm)
+        source = int(source)
+        if not 0 <= source < self.graph.num_vertices:
+            raise ValueError(
+                f"source {source} out of range for "
+                f"{self.graph.num_vertices}-vertex graph"
+            )
+        params = dict(params or {})
+        for key in params:
+            if not hasattr(template, key):
+                raise ValueError(
+                    f"unknown {algorithm} parameter {key!r} in params"
+                )
+        if self._dispatch_task is None:
+            await self.start()
+        loop = asyncio.get_event_loop()
+        query = PendingQuery(
+            algorithm=algorithm,
+            source=source,
+            params=params,
+            enqueued_at=loop.time(),
+            future=loop.create_future(),
+        )
+        try:
+            self._former.add(query)
+        except ServerOverloaded:
+            self._stats["shed"] += 1
+            raise
+        self._stats["submitted"] += 1
+        self._wake.set()
+        return await query.future
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_event_loop()
+        while True:
+            batch = self._former.next_batch(loop.time())
+            if batch is not None:
+                await self._dispatch(batch)
+                continue
+            if self._closed:
+                break
+            deadline = self._former.next_deadline()
+            timeout = (
+                None if deadline is None else max(0.0, deadline - loop.time())
+            )
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+        # Closed: drain what is still queued, or cancel it. Either way
+        # every queued query pops (force=True ignores the dispatch
+        # policy) so no caller is left awaiting a forgotten future.
+        while True:
+            batch = self._former.next_batch(loop.time(), force=True)
+            if batch is None:
+                break
+            if self._drain_on_close:
+                await self._dispatch(batch)
+            else:
+                for query in batch:
+                    if not query.future.done():
+                        query.future.cancel()
+
+    async def _dispatch(self, batch: List[PendingQuery]) -> None:
+        loop = asyncio.get_event_loop()
+        if self._before_dispatch is not None:
+            self._before_dispatch(batch)
+        sources = [query.source for query in batch]
+        lane_params: Optional[List[Dict[str, object]]] = [
+            query.params for query in batch
+        ]
+        if not any(lane_params):
+            lane_params = None
+        algorithm_name = batch[0].algorithm
+        algorithm = self._algorithms[algorithm_name](source=sources[0])
+        self.batch_log.append(
+            {
+                "algorithm": algorithm_name,
+                "sources": list(sources),
+                "lane_params": (
+                    [dict(p) for p in lane_params]
+                    if lane_params is not None else None
+                ),
+            }
+        )
+        self._stats["batches"] += 1
+        batch_index = len(self.batch_log) - 1
+        dispatched_at = loop.time()
+        waits = [dispatched_at - query.enqueued_at for query in batch]
+        try:
+            if self._use_executor:
+                result: BatchRunResult = await loop.run_in_executor(
+                    None,
+                    lambda: self.engine.run_batch(
+                        algorithm, sources, lane_params=lane_params
+                    ),
+                )
+            else:
+                result = self.engine.run_batch(
+                    algorithm, sources, lane_params=lane_params
+                )
+        except Exception as exc:  # noqa: BLE001 - fault isolation boundary
+            self._fail_batch(batch, f"{type(exc).__name__}: {exc}")
+            return
+        if result.failed:
+            self._fail_batch(batch, result.failure_reason)
+            return
+        extra = dict(result.extra)
+        extra[extra_keys.SERVE_BATCH_FILL] = len(batch) / self.policy.max_batch
+        extra[extra_keys.SERVE_QUEUE_WAIT_US] = float(
+            1e6 * sum(waits) / len(waits)
+        )
+        for lane, query in enumerate(batch):
+            if query.future.done():
+                # Cancelled between dispatch and demultiplex: the lane ran
+                # with the batch; its result is discarded here.
+                self._stats["cancelled_after_dispatch"] += 1
+                continue
+            query.future.set_result(
+                ServedResult(
+                    values=result.values[lane],
+                    lane=lane,
+                    batch_index=batch_index,
+                    batch_size=len(batch),
+                    iterations=result.iterations,
+                    elapsed_us=result.elapsed_us,
+                    queue_wait_s=waits[lane],
+                    extra=extra,
+                )
+            )
+            self._stats["served"] += 1
+
+    def _fail_batch(self, batch: List[PendingQuery], reason: str) -> None:
+        """Engine failure propagates to exactly this batch's lanes."""
+        self._stats["failed"] += len(batch)
+        for query in batch:
+            if not query.future.done():
+                query.future.set_exception(EngineFailure(reason))

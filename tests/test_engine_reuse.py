@@ -1,0 +1,145 @@
+"""Engine-reuse regression: call N on one engine == call 1 on a fresh one.
+
+The serving layer (``src/repro/serve/``) answers every dispatched batch
+with **one** long-lived :class:`SIMDXEngine`, so any state leaking from
+one ``run``/``run_batch`` into the next silently corrupts served answers.
+``SIMDXEngine._begin_run`` documents the contract: the only state an
+engine may carry across calls is graph-derived and source-independent
+(the pull classifier, cached in-degrees, the in-CSR transpose); profiler
+counters, device memory accounting and the fusion plan reset per call.
+
+These tests pin that contract the strong way: a mixed sequence of
+``run`` and ``run_batch`` calls on one engine must produce results
+bit-identical - values, traces and counters alike - to running each call
+on a brand-new engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.gpu.device import GPUDevice, K40
+from repro.graph import generators as gen
+
+#: Result fields that must be bit-identical between a reused engine and a
+#: fresh one. ``values``/``metadata`` are compared with array equality;
+#: everything else with ``==``.
+COMPARED_FIELDS = (
+    "values",
+    "iterations",
+    "elapsed_us",
+    "kernel_launches",
+    "filter_trace",
+    "direction_trace",
+    "failed",
+    "extra",
+)
+
+
+@pytest.fixture
+def graph():
+    return gen.rmat_graph(9, 8, seed=7, name="rmat9")
+
+
+def fresh_engine(graph) -> SIMDXEngine:
+    return SIMDXEngine(graph, device=GPUDevice(K40), config=EngineConfig())
+
+
+def call_sequence(graph):
+    """A mixed run/run_batch workload: what a serving engine sees."""
+    hubs = np.argsort(-graph.out_degrees(), kind="stable")
+    batch = [int(v) for v in hubs[:4]]
+    return [
+        ("run", BFS, dict(source=3), {}),
+        ("run_batch", SSSP, dict(source=batch[0]), {"sources": batch}),
+        ("run", SSSP, dict(source=3, delta=2.0), {}),
+        ("run_batch", BFS, dict(source=batch[0]), {"sources": batch}),
+        # Same query as call 1: the reused engine must reproduce its own
+        # first answer exactly, after batches ran in between.
+        ("run", BFS, dict(source=3), {}),
+        (
+            "run_batch",
+            SSSP,
+            dict(source=batch[0]),
+            {
+                "sources": batch,
+                "lane_params": [{"delta": float(1 + k)} for k in range(4)],
+            },
+        ),
+    ]
+
+
+def execute(engine, call):
+    kind, cls, init_kwargs, run_kwargs = call
+    if kind == "run":
+        return engine.run(cls(**init_kwargs))
+    sources = run_kwargs["sources"]
+    return engine.run_batch(
+        cls(**init_kwargs),
+        sources,
+        lane_params=run_kwargs.get("lane_params"),
+    )
+
+
+def assert_results_identical(reused, fresh, label):
+    for name in COMPARED_FIELDS:
+        got, want = getattr(reused, name), getattr(fresh, name)
+        if isinstance(want, np.ndarray) or isinstance(got, np.ndarray):
+            assert np.array_equal(got, want), f"{label}: {name} diverged"
+        else:
+            assert got == want, (
+                f"{label}: {name} diverged (reused={got!r}, fresh={want!r})"
+            )
+    if hasattr(fresh, "lane_iterations"):
+        assert reused.lane_iterations == fresh.lane_iterations, (
+            f"{label}: lane_iterations diverged"
+        )
+        assert np.array_equal(reused.metadata, fresh.metadata), (
+            f"{label}: metadata diverged"
+        )
+
+
+def test_reused_engine_matches_fresh_engine_per_call(graph):
+    """Call N on one engine is bit-identical to a fresh-engine call."""
+    reused = fresh_engine(graph)
+    for index, call in enumerate(call_sequence(graph)):
+        got = execute(reused, call)
+        want = execute(fresh_engine(graph), call)
+        assert not want.failed
+        assert_results_identical(got, want, f"call {index} ({call[0]})")
+
+
+def test_repeated_identical_run_is_stable(graph):
+    """The same query twice on one engine returns the same everything."""
+    engine = fresh_engine(graph)
+    first = engine.run(BFS(source=5))
+    second = engine.run(BFS(source=5))
+    assert_results_identical(second, first, "repeat run")
+
+
+def test_repeated_identical_run_batch_is_stable(graph):
+    engine = fresh_engine(graph)
+    sources = [3, 5, 9, 11]
+    first = engine.run_batch(BFS(source=3), sources)
+    second = engine.run_batch(BFS(source=3), sources)
+    assert_results_identical(second, first, "repeat run_batch")
+
+
+def test_profiler_counters_reset_between_calls(graph):
+    """Cross-run counters restart at zero: no accumulation across calls.
+
+    ``kernel_launches`` and the ``kernel_edges_walked`` extra are summed
+    by the profiler during a run; if ``_begin_run`` ever stopped
+    resetting them, call 2 would report call 1's work on top of its own.
+    """
+    engine = fresh_engine(graph)
+    first = engine.run(BFS(source=3))
+    second = engine.run(BFS(source=3))
+    assert second.kernel_launches == first.kernel_launches
+    assert (
+        second.extra["kernel_edges_walked"]
+        == first.extra["kernel_edges_walked"]
+    )

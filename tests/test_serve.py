@@ -1,0 +1,450 @@
+"""Serving-layer tests: admission, unhappy paths, served-vs-direct identity.
+
+Covers the contract of ``src/repro/serve/`` (docs/serving.md):
+
+* batches form at max-K and at max-wait with K < max;
+* cancellation before dispatch (pruned, never occupies a lane) and after
+  dispatch (lane runs, result discarded);
+* queue shedding at ``max_queue`` (``ServerOverloaded``);
+* per-lane parameter routing (``lane_params`` passthrough);
+* duplicate sources across callers;
+* engine failure propagating to exactly the affected batch's lanes;
+* shutdown draining everything still queued;
+* the differential check: every served answer is bit-identical to a
+  direct ``SIMDXEngine.run_batch`` call with the same batch composition
+  (``REPRO_SANITIZE=1`` re-runs it with the runtime sanitizer armed -
+  CI's static-analysis job does).
+
+The tests run the event loop via ``asyncio.run`` (no pytest-asyncio
+dependency) on a small R-MAT graph, with generous ``max_wait_ms`` wherever
+batch composition must be deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.algorithms import BFS, SSSP
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.gpu.device import GPUDevice, K40
+from repro.graph import generators as gen
+from repro.serve import (
+    AdmissionPolicy,
+    EngineFailure,
+    ServerOverloaded,
+    SIMDXServer,
+)
+
+SANITIZE = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+#: A long wait turns max-wait dispatch off, so batch composition is
+#: driven purely by max-K / shutdown / explicit timing in each test.
+NEVER_MS = 60_000.0
+
+
+@pytest.fixture
+def graph():
+    return gen.rmat_graph(9, 8, seed=7, name="rmat9")
+
+
+def serve_config() -> EngineConfig:
+    return EngineConfig(sanitize=True) if SANITIZE else EngineConfig()
+
+
+def make_server(graph, policy: AdmissionPolicy, **kwargs) -> SIMDXServer:
+    kwargs.setdefault("config", serve_config())
+    return SIMDXServer(graph, policy=policy, **kwargs)
+
+
+async def submit_tasks(server, queries):
+    """Spawn one task per (algorithm, source, params) and let them enqueue."""
+    tasks = [
+        asyncio.ensure_future(server.submit(*query)) for query in queries
+    ]
+    # Each submit needs one scheduling turn to reach its queue.
+    for _ in range(2 + len(tasks)):
+        await asyncio.sleep(0)
+    return tasks
+
+
+# ----------------------------------------------------------------------
+# Batch formation
+# ----------------------------------------------------------------------
+def test_batch_forms_at_max_k(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=4, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            results = await asyncio.gather(
+                *[server.submit("bfs", s) for s in (3, 5, 9, 11)]
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 1
+    assert [r.batch_size for r in results] == [4, 4, 4, 4]
+    assert [r.lane for r in results] == [0, 1, 2, 3]
+    assert results[0].extra["serve_batch_fill"] == 1.0
+    assert server.batch_log[0]["sources"] == [3, 5, 9, 11]
+
+
+def test_batch_forms_at_max_wait_with_fewer_lanes(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=8, max_wait_ms=25.0)
+        )
+        async with server:
+            results = await asyncio.gather(
+                server.submit("bfs", 3), server.submit("bfs", 5)
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 1
+    assert [r.batch_size for r in results] == [2, 2]
+    # The deadline fired, not max-K: the batch is under-full and the
+    # oldest query waited at least the policy's max_wait_ms.
+    assert results[0].extra["serve_batch_fill"] == 2 / 8
+    assert results[0].queue_wait_s >= 0.020
+
+
+def test_algorithms_batch_separately(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=2, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            results = await asyncio.gather(
+                server.submit("bfs", 3),
+                server.submit("sssp", 5),
+                server.submit("bfs", 9),
+                server.submit("sssp", 11),
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 2
+    assert {log["algorithm"] for log in server.batch_log} == {"bfs", "sssp"}
+    assert all(r.batch_size == 2 for r in results)
+
+
+# ----------------------------------------------------------------------
+# Cancellation
+# ----------------------------------------------------------------------
+def test_cancellation_before_dispatch_is_pruned(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=4, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            tasks = await submit_tasks(
+                server, [("bfs", 3, None), ("bfs", 5, None), ("bfs", 9, None)]
+            )
+            tasks[1].cancel()
+            await asyncio.sleep(0)
+            # Two more fill the batch to max-K without the cancelled one.
+            late = await submit_tasks(
+                server, [("bfs", 11, None), ("bfs", 13, None)]
+            )
+            results = await asyncio.gather(
+                *(tasks[:1] + tasks[2:] + late), return_exceptions=True
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 1
+    assert server.stats["cancelled_before_dispatch"] == 1
+    assert server.stats["cancelled_after_dispatch"] == 0
+    # The cancelled caller never occupied a lane.
+    assert server.batch_log[0]["sources"] == [3, 9, 11, 13]
+    assert all(r.batch_size == 4 for r in results)
+
+
+def test_cancellation_after_dispatch_discards_lane(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=3, max_wait_ms=NEVER_MS)
+        )
+        # Cancel lane 1's caller in the window between batch pop and
+        # engine dispatch: the lane still runs with the batch.
+        server._before_dispatch = lambda batch: batch[1].future.cancel()
+        async with server:
+            tasks = await submit_tasks(
+                server, [("bfs", 3, None), ("bfs", 5, None), ("bfs", 9, None)]
+            )
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 1
+    assert server.stats["cancelled_after_dispatch"] == 1
+    assert server.stats["served"] == 2
+    # The batch dispatched with all three lanes - the cancelled caller's
+    # lane ran, its result was discarded at demultiplex.
+    assert server.batch_log[0]["sources"] == [3, 5, 9]
+    assert isinstance(results[1], asyncio.CancelledError)
+    assert results[0].batch_size == 3 and results[2].batch_size == 3
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+def test_queue_sheds_at_max_queue(graph):
+    async def scenario():
+        server = make_server(
+            graph,
+            AdmissionPolicy(max_batch=8, max_wait_ms=NEVER_MS, max_queue=3),
+        )
+        async with server:
+            tasks = await submit_tasks(
+                server, [("bfs", s, None) for s in (3, 5, 9)]
+            )
+            with pytest.raises(ServerOverloaded):
+                await server.submit("bfs", 11)
+        # Shedding rejected the 4th query but the queued three are
+        # intact: the drain on shutdown answered them.
+        results = await asyncio.gather(*tasks)
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["shed"] == 1
+    assert server.stats["served"] == 3
+    assert [r.batch_size for r in results] == [3, 3, 3]
+
+
+def test_submit_after_shutdown_raises(graph):
+    async def scenario():
+        server = make_server(graph, AdmissionPolicy(max_batch=2))
+        async with server:
+            await server.submit("bfs", 3)  # lone query, served by drain
+        with pytest.raises(RuntimeError):
+            await server.submit("bfs", 5)
+
+    asyncio.run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Lane parameter routing and duplicate sources
+# ----------------------------------------------------------------------
+def test_per_lane_params_route_to_their_lane(graph):
+    deltas = [1.0, 4.0, 16.0]
+
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=3, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            results = await asyncio.gather(
+                *[
+                    server.submit("sssp", 3 + 2 * k, {"delta": deltas[k]})
+                    for k in range(3)
+                ]
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    log = server.batch_log[0]
+    assert log["lane_params"] == [{"delta": d} for d in deltas]
+    direct = SIMDXEngine(
+        graph, device=GPUDevice(K40), config=serve_config()
+    ).run_batch(
+        SSSP(source=log["sources"][0]),
+        log["sources"],
+        lane_params=log["lane_params"],
+    )
+    for k, result in enumerate(results):
+        assert np.array_equal(result.values, direct.values[k])
+
+
+def test_unknown_param_fails_only_its_caller(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=2, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            with pytest.raises(ValueError):
+                await server.submit("bfs", 3, {"no_such_param": 1})
+            results = await asyncio.gather(
+                server.submit("bfs", 3), server.submit("bfs", 5)
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    # The bad query was rejected synchronously - it never joined a batch.
+    assert server.stats["batches"] == 1
+    assert all(r.batch_size == 2 for r in results)
+
+
+def test_duplicate_sources_across_callers(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=3, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            results = await asyncio.gather(
+                server.submit("bfs", 7),
+                server.submit("bfs", 7),
+                server.submit("bfs", 5),
+            )
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.batch_log[0]["sources"] == [7, 7, 5]
+    assert np.array_equal(results[0].values, results[1].values)
+    assert results[0].lane == 0 and results[1].lane == 1
+
+
+# ----------------------------------------------------------------------
+# Engine failure isolation
+# ----------------------------------------------------------------------
+class _BoomBFS(BFS):
+    """A BFS whose init raises - the engine-failure path, honestly taken."""
+
+    name = "boom"
+
+    def init(self, graph, **kwargs):
+        raise RuntimeError("injected engine failure")
+
+
+def test_engine_failure_hits_only_its_lanes(graph):
+    async def scenario():
+        server = make_server(
+            graph,
+            AdmissionPolicy(max_batch=2, max_wait_ms=NEVER_MS),
+            algorithms={"bfs": BFS, "boom": _BoomBFS},
+        )
+        async with server:
+            outcomes = await asyncio.gather(
+                server.submit("boom", 3),
+                server.submit("boom", 5),
+                server.submit("bfs", 3),
+                server.submit("bfs", 5),
+                return_exceptions=True,
+            )
+            # The failure is contained: the server keeps serving.
+            after = await asyncio.gather(
+                server.submit("bfs", 9), server.submit("bfs", 11)
+            )
+        return server, outcomes, after
+
+    server, outcomes, after = asyncio.run(scenario())
+    assert isinstance(outcomes[0], EngineFailure)
+    assert isinstance(outcomes[1], EngineFailure)
+    assert "injected engine failure" in outcomes[0].reason
+    assert outcomes[2].batch_size == 2 and outcomes[3].batch_size == 2
+    assert all(r.batch_size == 2 for r in after)
+    assert server.stats["failed"] == 2
+    assert server.stats["served"] == 4
+
+
+# ----------------------------------------------------------------------
+# Shutdown drain
+# ----------------------------------------------------------------------
+def test_shutdown_drains_queued_queries(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=16, max_wait_ms=NEVER_MS)
+        )
+        async with server:
+            tasks = await submit_tasks(
+                server, [("bfs", 3 + 2 * k, None) for k in range(5)]
+            )
+            # Nothing dispatched yet: K < max_batch and the deadline is
+            # far away. Exiting the context shuts down with drain=True,
+            # which dispatches everything still queued.
+            assert server.stats["batches"] == 0
+        results = await asyncio.gather(*tasks)
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 1
+    assert [r.batch_size for r in results] == [5] * 5
+    assert server.stats["served"] == 5
+
+
+def test_shutdown_without_drain_cancels_queued(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=16, max_wait_ms=NEVER_MS)
+        )
+        await server.start()
+        tasks = await submit_tasks(
+            server, [("bfs", 3, None), ("bfs", 5, None)]
+        )
+        await server.shutdown(drain=False)
+        return server, await asyncio.gather(*tasks, return_exceptions=True)
+
+    server, results = asyncio.run(scenario())
+    assert server.stats["batches"] == 0
+    assert all(isinstance(r, asyncio.CancelledError) for r in results)
+
+
+# ----------------------------------------------------------------------
+# The differential check: served == direct run_batch, bit for bit
+# ----------------------------------------------------------------------
+def test_served_differential_vs_direct_run_batch(graph):
+    """Every served answer replays bit-identically through run_batch.
+
+    A mixed bfs/sssp stream (with per-lane deltas, duplicate sources and
+    one mid-stream cancellation) is served - two batches at max-K, the
+    leftover by the shutdown drain - then every logged batch composition
+    is replayed through a *fresh* engine and each caller's values are
+    compared at its recorded (batch, lane) coordinates.
+    ``REPRO_SANITIZE=1`` arms the runtime sanitizer on both sides.
+    """
+
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=3, max_wait_ms=NEVER_MS)
+        )
+        queries = [
+            ("bfs", 3, None),
+            ("sssp", 5, {"delta": 2.0}),
+            ("bfs", 7, None),
+            ("bfs", 7, None),          # duplicate source
+            ("sssp", 9, {"delta": 8.0}),
+            ("bfs", 11, None),
+            ("sssp", 5, None),         # duplicate source, default delta
+            ("bfs", 13, None),
+        ]
+        async with server:
+            tasks = await submit_tasks(server, queries)
+            # bfs 3/7/7 and sssp 5/9/5 dispatched at max-K; bfs 11 and 13
+            # are still queued (2 < max_batch, deadline far) - cancelling
+            # one here exercises pruning mid-stream.
+            tasks[5].cancel()
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        return server, results
+
+    server, results = asyncio.run(scenario())
+    classes = {"bfs": BFS, "sssp": SSSP}
+    replays = []
+    for log in server.batch_log:
+        engine = SIMDXEngine(
+            graph, device=GPUDevice(K40), config=serve_config()
+        )
+        replays.append(
+            engine.run_batch(
+                classes[log["algorithm"]](source=log["sources"][0]),
+                log["sources"],
+                lane_params=log["lane_params"],
+            )
+        )
+    checked = 0
+    for result in results:
+        if isinstance(result, BaseException):
+            assert isinstance(result, asyncio.CancelledError)
+            continue
+        replay = replays[result.batch_index]
+        assert not replay.failed
+        assert np.array_equal(result.values, replay.values[result.lane])
+        assert result.iterations == replay.iterations
+        assert result.elapsed_us == replay.elapsed_us
+        checked += 1
+    assert checked == len(results) - 1  # all but the cancelled caller
+    assert sum(len(log["sources"]) for log in server.batch_log) == checked
