@@ -201,6 +201,46 @@ SERVE_QUEUE_WAIT_US = register(ExtraKey(
 ))
 
 # ----------------------------------------------------------------------
+# Dynamic graphs and result reuse (src/repro/dyn/, src/repro/cache/)
+# ----------------------------------------------------------------------
+DYN_GRAPH_VERSION = register(ExtraKey(
+    "dyn_graph_version",
+    "DynamicGraph version the result is valid for (monotone update-batch "
+    "counter; 0 is the pristine base graph).",
+    producers=("dyn", "cache", "serve"),
+))
+DYN_REPAIR_MODE = register(ExtraKey(
+    "dyn_repair_mode",
+    "How IncrementalRecompute produced the result: 'incremental' "
+    "(warm-start repair from the affected frontier) or 'from_scratch' "
+    "(exact fallback through a normal engine run).",
+    producers=("dyn",),
+))
+DYN_REPAIR_RESET_VERTICES = register(ExtraKey(
+    "dyn_repair_reset_vertices",
+    "Vertices whose value the repair plan invalidated (support-closure "
+    "of the deleted edges for BFS/SSSP, whole touched components for "
+    "WCC); 0 on the from-scratch fallback.",
+    producers=("dyn",),
+    monotone_counter=True,
+))
+DYN_REPAIR_SEED_VERTICES = register(ExtraKey(
+    "dyn_repair_seed_vertices",
+    "Size of the repair run's warm-start frontier (reset-set boundary + "
+    "insert sources + the query source when reset); 0 on the "
+    "from-scratch fallback.",
+    producers=("dyn",),
+    monotone_counter=True,
+))
+CACHE_OUTCOME = register(ExtraKey(
+    "cache_outcome",
+    "How the result cache answered a query: 'hit' (stored values at the "
+    "current graph version), 'repair' (stale entry repaired forward "
+    "through the update receipts), or 'miss' (normal engine run).",
+    producers=("cache", "serve"),
+))
+
+# ----------------------------------------------------------------------
 # Baselines and analysis
 # ----------------------------------------------------------------------
 MODEL = register(ExtraKey(

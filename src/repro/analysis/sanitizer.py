@@ -105,6 +105,82 @@ class SanitizerError(RuntimeError):
         )
 
 
+#: Legal values of ``extra["dyn_repair_mode"]``.
+DYN_REPAIR_MODES = ("incremental", "from_scratch")
+#: Legal values of ``extra["cache_outcome"]``.
+CACHE_OUTCOMES = ("hit", "repair", "miss")
+
+
+def validate_dyn_extra(
+    extra: Dict[str, object], *, raise_on_violation: bool = False
+) -> List[str]:
+    """Check the dynamic-update / cache annotations of an extra mapping.
+
+    Returns the list of problems (empty when clean). These keys are
+    written after the engine returns, so the dyn/cache layers call this
+    directly on sanitized runs; the in-engine sanitizer routes through it
+    too for runs that already carry the keys.
+    """
+    problems: List[str] = []
+    version = extra.get(registry.DYN_GRAPH_VERSION)
+    if version is not None:
+        if (
+            not isinstance(version, (int, np.integer))
+            or isinstance(version, bool)
+            or version < 0
+        ):
+            problems.append(
+                f"extra[{registry.DYN_GRAPH_VERSION!r}] must be a "
+                f"non-negative integer, got {version!r}"
+            )
+    mode = extra.get(registry.DYN_REPAIR_MODE)
+    if mode is not None:
+        if mode not in DYN_REPAIR_MODES:
+            problems.append(
+                f"extra[{registry.DYN_REPAIR_MODE!r}] = {mode!r} is not "
+                f"one of {DYN_REPAIR_MODES}"
+            )
+        for key in (
+            registry.DYN_REPAIR_RESET_VERTICES,
+            registry.DYN_REPAIR_SEED_VERTICES,
+        ):
+            value = extra.get(key)
+            if (
+                not isinstance(value, (int, np.integer))
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                problems.append(
+                    f"repair run must carry a non-negative integer "
+                    f"extra[{key!r}], got {value!r}"
+                )
+        if mode == "from_scratch":
+            for key in (
+                registry.DYN_REPAIR_RESET_VERTICES,
+                registry.DYN_REPAIR_SEED_VERTICES,
+            ):
+                value = extra.get(key)
+                if isinstance(value, (int, np.integer)) and int(value) != 0:
+                    problems.append(
+                        f"from-scratch fallback must report "
+                        f"extra[{key!r}] = 0, got {value!r}"
+                    )
+    outcome = extra.get(registry.CACHE_OUTCOME)
+    if outcome is not None and outcome not in CACHE_OUTCOMES:
+        problems.append(
+            f"extra[{registry.CACHE_OUTCOME!r}] = {outcome!r} is not one "
+            f"of {CACHE_OUTCOMES}"
+        )
+    if problems and raise_on_violation:
+        raise SanitizerError(
+            [
+                SanitizerViolation(kind=ViolationKind.ACCOUNTING, detail=p)
+                for p in problems
+            ]
+        )
+    return problems
+
+
 def _equal_nan(a: np.ndarray, b: np.ndarray) -> bool:
     """Bit-for-bit array equality where NaN == NaN."""
     a = np.asarray(a)
@@ -393,6 +469,7 @@ class RuntimeSanitizer:
                 )
         self._validate_kernel_extra(extra)
         self._validate_shard_extra(extra)
+        self._validate_dyn_extra(extra)
 
     def _validate_kernel_extra(self, extra: Dict[str, object]) -> None:
         """Kernel-backend invariants of a finished run's extra keys.
@@ -486,6 +563,29 @@ class RuntimeSanitizer:
                     f"disagrees with the iteration records' frontier_edges "
                     f"total {self._record_frontier_edges}",
                 )
+
+    def _validate_dyn_extra(self, extra: Dict[str, object]) -> None:
+        """Dynamic-update / repair invariants of a run's extra keys.
+
+        The repair annotations are written *after* the engine returns
+        (by :class:`repro.dyn.incremental.IncrementalRecompute` and the
+        result cache), so besides this in-engine hook the same checks are
+        exposed as the module-level :func:`validate_dyn_extra`, which the
+        dyn/cache layers call on their annotated results when the run is
+        sanitized.
+        """
+        if not any(
+            key in extra
+            for key in (
+                registry.DYN_GRAPH_VERSION,
+                registry.DYN_REPAIR_MODE,
+                registry.CACHE_OUTCOME,
+            )
+        ):
+            return
+        self._checks["dyn_extra"] += 1
+        for detail in validate_dyn_extra(extra):
+            self._violation(ViolationKind.ACCOUNTING, detail)
 
     # ------------------------------------------------------------------
     # Reporting

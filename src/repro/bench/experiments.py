@@ -9,8 +9,10 @@ regenerates it from :func:`phase_timings` (the per-algorithm, per-phase
 timing baseline plus the traffic-model calibration),
 :func:`gather_refinement`, :func:`batching_throughput` (the batched
 multi-source serving sweep, which is this repository's own experiment
-rather than a paper artifact) and :func:`shard_scaling` (the sharded
-multi-device feasibility sweep, likewise beyond the paper).
+rather than a paper artifact), :func:`shard_scaling` (the sharded
+multi-device feasibility sweep, likewise beyond the paper) and
+:func:`dynamic_updates` (the dynamic-graph repair and cross-query reuse
+sweep - EXPERIMENTS.md §10).
 """
 
 from __future__ import annotations
@@ -1185,6 +1187,167 @@ def kernel_backend_wallclock(bench_path: Optional[str] = "BENCH_0009.json") -> D
     return {"record": run_wallclock_benchmark(), "source": "measured"}
 
 
+# ----------------------------------------------------------------------
+# Dynamic updates and cross-query reuse (beyond the paper)
+# ----------------------------------------------------------------------
+def dynamic_updates(
+    ctx: BenchmarkContext,
+    *,
+    algorithm_name: str = "bfs",
+    dataset: Optional[str] = None,
+    update_rates: Sequence[int] = (4, 16, 64),
+    rounds: int = 4,
+    zipf_exponents: Sequence[float] = (0.0, 0.8, 1.6),
+    queries_per_round: int = 12,
+    update_rounds: int = 3,
+    source_pool: int = 16,
+    seed: int = 11,
+) -> Dict:
+    """Update-rate × query-rate sweep over the dynamic-graph subsystem.
+
+    Two sub-experiments against the same base graph (docs/dynamic.md,
+    docs/caching.md):
+
+    * **Repair speedup.** For each update-batch size, seeded random
+      insert+delete batches are applied and the previous fixed point is
+      repaired incrementally (``IncrementalRecompute``) as well as re-run
+      from scratch on the new snapshot; both are bit-identical by
+      contract (asserted here), and the simulated-time ratio shows how
+      repair cost scales with the touched frontier rather than the graph.
+    * **Cache hit-rate vs source skew.** A query stream whose sources are
+      drawn from a Zipf distribution over the top-degree source pool runs
+      through :class:`~repro.cache.reuse.CachedQueryEngine`, interleaved
+      with update batches; the hit/repair/miss split shows how reuse pays
+      off as the workload skews toward repeated sources.
+
+    Everything is seeded; the returned rows are deterministic for a fixed
+    configuration and rendered as EXPERIMENTS.md §10.
+    """
+    from repro.cache import CachedQueryEngine
+    from repro.dyn import DynamicGraph, EdgeUpdateBatch, IncrementalRecompute
+
+    abbrev = dataset if dataset is not None else ctx.datasets[0]
+    graph = ctx.graph(abbrev)
+    pool = default_sources(graph, min(source_pool, graph.num_vertices))
+    source = pool[0]
+
+    def random_batch(dyn: DynamicGraph, rng, size: int) -> EdgeUpdateBatch:
+        n = dyn.num_vertices
+        ins = rng.integers(0, n, size=(size, 2))
+        ins = ins[ins[:, 0] != ins[:, 1]]
+        weights = rng.uniform(0.5, 3.0, size=len(ins))
+        edges = dyn.snapshot().to_edge_array()
+        picks = rng.choice(
+            len(edges), size=min(size, len(edges)), replace=False
+        )
+        return EdgeUpdateBatch.of(
+            inserts=ins, insert_weights=weights, deletes=edges[picks]
+        )
+
+    repair_rows: List[Dict] = []
+    for batch_size in update_rates:
+        rng = np.random.default_rng(seed * 31 + batch_size)
+        dyn = DynamicGraph(graph)
+        recompute = IncrementalRecompute()
+        warm = (
+            SIMDXEngine(dyn.snapshot())
+            .run(make_algorithm(algorithm_name, graph, source=source))
+            .values
+        )
+        repair_us: List[float] = []
+        scratch_us: List[float] = []
+        resets: List[int] = []
+        seeds: List[int] = []
+        for _ in range(rounds):
+            receipt = dyn.apply(random_batch(dyn, rng, batch_size))
+            repaired = recompute.run(
+                receipt,
+                make_algorithm(algorithm_name, graph, source=source),
+                warm,
+            )
+            scratch = SIMDXEngine(receipt.new_graph).run(
+                make_algorithm(algorithm_name, graph, source=source)
+            )
+            if repaired.failed or scratch.failed:
+                raise RuntimeError("dynamic-updates benchmark run failed")
+            if not np.array_equal(repaired.values, scratch.values):
+                raise RuntimeError(
+                    "incremental repair diverged from scratch - the "
+                    "exactness contract is broken"
+                )
+            repair_us.append(float(repaired.elapsed_us))
+            scratch_us.append(float(scratch.elapsed_us))
+            resets.append(
+                int(repaired.extra[extra_keys.DYN_REPAIR_RESET_VERTICES])
+            )
+            seeds.append(
+                int(repaired.extra[extra_keys.DYN_REPAIR_SEED_VERTICES])
+            )
+            warm = repaired.values
+        mean_repair = sum(repair_us) / len(repair_us)
+        mean_scratch = sum(scratch_us) / len(scratch_us)
+        repair_rows.append(
+            {
+                "updates_per_batch": batch_size,
+                "rounds": rounds,
+                "mean_repair_us": mean_repair,
+                "mean_scratch_us": mean_scratch,
+                "speedup": (
+                    mean_scratch / mean_repair if mean_repair > 0 else None
+                ),
+                "mean_reset_vertices": sum(resets) / len(resets),
+                "mean_seed_vertices": sum(seeds) / len(seeds),
+                "values_identical": True,
+            }
+        )
+
+    cache_rows: List[Dict] = []
+    for exponent in zipf_exponents:
+        rng = np.random.default_rng(seed * 97 + int(exponent * 10))
+        ranks = np.arange(1, len(pool) + 1, dtype=np.float64)
+        probs = ranks ** -exponent
+        probs /= probs.sum()
+        qe = CachedQueryEngine(graph)
+        for _ in range(update_rounds):
+            for _ in range(queries_per_round):
+                picked = int(rng.choice(len(pool), p=probs))
+                qe.query(algorithm_name, pool[picked])
+            update = random_batch(qe.dyn, rng, 4)
+            qe.update(
+                inserts=update.inserts,
+                insert_weights=update.insert_weights,
+                deletes=update.deletes,
+                refresh_landmarks=True,
+            )
+        stats = qe.stats
+        queries = update_rounds * queries_per_round
+        hits = int(stats["hits"])
+        repairs = int(stats["stale_hits"])
+        cache_rows.append(
+            {
+                "zipf_exponent": exponent,
+                "queries": queries,
+                "updates": update_rounds,
+                "hits": hits,
+                "repairs": repairs,
+                "misses": int(stats["misses"]),
+                "hit_rate": hits / queries,
+                "reuse_rate": (hits + repairs) / queries,
+                "landmarks_refreshed": int(stats["landmarks_refreshed"]),
+            }
+        )
+
+    return {
+        "dataset": abbrev,
+        "algorithm": algorithm_name,
+        "source_pool": len(pool),
+        "queries_per_round": queries_per_round,
+        "update_rounds": update_rounds,
+        "repair_rows": repair_rows,
+        "cache_rows": cache_rows,
+    }
+
+
 def generate_experiments_md(
     path: str = "EXPERIMENTS.md",
     *,
@@ -1207,9 +1370,11 @@ def generate_experiments_md(
     shard = shard_scaling(ctx)
     kernel = kernel_backend_wallclock()
     serving = serving_latency(ctx)
+    dynamic = dynamic_updates(ctx)
     text = render_experiments_md(
         timings, refinement, batching=batching, split=split, shard=shard,
-        kernel=kernel, serving=serving, scale=scale, datasets=datasets,
+        kernel=kernel, serving=serving, dynamic=dynamic,
+        scale=scale, datasets=datasets,
     )
     with open(path, "w") as handle:
         handle.write(text)

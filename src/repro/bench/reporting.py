@@ -260,6 +260,7 @@ def render_experiments_md(
     shard: Optional[Dict] = None,
     kernel: Optional[Dict] = None,
     serving: Optional[Dict] = None,
+    dynamic: Optional[Dict] = None,
     scale: float,
     datasets: Sequence[str],
 ) -> str:
@@ -275,7 +276,9 @@ def render_experiments_md(
     (optional) is :func:`repro.bench.experiments.kernel_backend_wallclock`
     output (the committed BENCH_*.json record) and ``serving``
     (optional) is :func:`repro.bench.experiments.serving_latency` output
-    (the discrete-event serving sweep). The document is
+    (the discrete-event serving sweep) and ``dynamic`` (optional) is
+    :func:`repro.bench.experiments.dynamic_updates` output (the dynamic
+    update-rate × query-rate sweep). The document is
     deterministic for a fixed (scale, datasets)
     configuration - §8's wall-clock columns come from the committed
     benchmark record, not a fresh measurement, and §9's arrivals are
@@ -631,6 +634,65 @@ def render_experiments_md(
                      r["batches"], round(r["mean_fill"], 2),
                      round(r["p50_ms"], 2), round(r["p99_ms"], 2))
                     for r in serving["rows"]
+                ],
+            )
+        )
+    if dynamic is not None and dynamic["repair_rows"]:
+        parts.append("\n## 10. Dynamic updates and cross-query reuse\n")
+        parts.append(
+            "The dynamic-graph subsystem (`src/repro/dyn/`, "
+            "`src/repro/cache/`; docs/dynamic.md, docs/caching.md) under "
+            "a seeded update-rate × query-rate sweep on "
+            f"{dynamic['dataset']}. **Repair speedup:** each row applies "
+            f"`{dynamic['repair_rows'][0]['rounds']}` random "
+            "insert+delete batches of the given size and repairs the "
+            f"previous `{dynamic['algorithm']}` fixed point "
+            "incrementally (`IncrementalRecompute`) as well as re-running "
+            "it from scratch on the new snapshot; the two are "
+            "bit-identical by the exactness contract (`identical`, "
+            "asserted at generation time), and the simulated-time ratio "
+            "shows repair cost tracking the touched frontier (`seed` / "
+            "`reset` vertices), not the graph size.\n"
+        )
+        parts.append(
+            _md_table(
+                ["updates/batch", "repair µs", "scratch µs", "speedup",
+                 "reset", "seed", "identical"],
+                [
+                    (r["updates_per_batch"],
+                     round(r["mean_repair_us"], 2),
+                     round(r["mean_scratch_us"], 2),
+                     f"{r['speedup']:.2f}x" if r["speedup"] else None,
+                     round(r["mean_reset_vertices"], 1),
+                     round(r["mean_seed_vertices"], 1),
+                     "yes" if r["values_identical"] else "NO")
+                    for r in dynamic["repair_rows"]
+                ],
+            )
+        )
+        parts.append(
+            "\n**Cache hit-rate vs source skew:** a "
+            f"`{dynamic['algorithm']}` query stream "
+            f"({dynamic['update_rounds']} rounds × "
+            f"{dynamic['queries_per_round']} queries, one 4-edge update "
+            "batch between rounds) whose sources are Zipf-drawn from the "
+            f"{dynamic['source_pool']} highest-degree vertices, served "
+            "through `CachedQueryEngine`. `hits` are exact-version cache "
+            "answers, `repairs` are stale entries repaired forward "
+            "through the retained update receipts, `misses` fall back to "
+            "a from-scratch run - every path returning identical bits. "
+            "Skewed sources (larger Zipf exponent) turn reuse on.\n"
+        )
+        parts.append(
+            _md_table(
+                ["zipf s", "queries", "updates", "hits", "repairs",
+                 "misses", "hit rate", "reuse rate", "landmarks"],
+                [
+                    (r["zipf_exponent"], r["queries"], r["updates"],
+                     r["hits"], r["repairs"], r["misses"],
+                     round(r["hit_rate"], 2), round(r["reuse_rate"], 2),
+                     r["landmarks_refreshed"])
+                    for r in dynamic["cache_rows"]
                 ],
             )
         )

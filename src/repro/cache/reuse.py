@@ -1,0 +1,207 @@
+"""One query front-end over the dynamic graph, cache and engine.
+
+:class:`CachedQueryEngine` answers ``query(algorithm, source)`` calls
+through a three-way decision, every branch of which returns the same
+bits a from-scratch engine run on the current snapshot would:
+
+* **hit** - the cache holds this query's values at the current graph
+  version; serve a copy (the stored array came out of an engine run or
+  an exact repair, so it *is* the from-scratch answer);
+* **repair** - the cache holds the values at an older version and the
+  dynamic graph still retains the receipt chain; repair the entry
+  forward through each receipt with
+  :class:`repro.dyn.incremental.IncrementalRecompute` (exact by the
+  monotone fixed-point argument - see docs/dynamic.md) and serve;
+* **miss** - run the engine on the current snapshot (the exact
+  fallback), then store.
+
+The differential fuzz harness's dyn axis interleaves random update
+batches with queries through this class and checks every answer against
+a fresh from-scratch run, bit for bit, sanitize-clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.algorithms import ALGORITHMS
+from repro.analysis import registry as extra_keys
+from repro.cache.results import ResultCache
+from repro.core.engine import EngineConfig, SIMDXEngine
+from repro.core.metrics import RunResult
+from repro.dyn.incremental import (
+    REPAIRABLE_ALGORITHMS,
+    IncrementalRecompute,
+)
+from repro.dyn.overlay import DynamicGraph, EdgeUpdateBatch, UpdateReceipt
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """What ``query`` returns."""
+
+    #: The query's values (a private copy; identical to a from-scratch run).
+    values: np.ndarray
+    #: "hit", "repair" or "miss" (registry.CACHE_OUTCOME vocabulary).
+    outcome: str
+    #: Graph version the answer is valid for.
+    version: int
+    #: The engine result of the miss/repair run; None on a cache hit.
+    result: Optional[RunResult] = None
+    #: Annotations (cache_outcome, dyn_graph_version).
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+
+class CachedQueryEngine:
+    """Serve repeated and near-repeated queries exactly, via the cache."""
+
+    def __init__(
+        self,
+        graph,
+        *,
+        config: Optional[EngineConfig] = None,
+        device=None,
+        cache: Optional[ResultCache] = None,
+        algorithms: Optional[Dict[str, Callable]] = None,
+        max_repair_chain: int = 8,
+    ):
+        self.dyn = (
+            graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
+        )
+        self.config = config
+        self.device = device
+        self.cache = cache if cache is not None else ResultCache()
+        self._algorithms = dict(
+            algorithms if algorithms is not None else ALGORITHMS
+        )
+        self.max_repair_chain = max_repair_chain
+        self._recompute = IncrementalRecompute(config=config, device=device)
+        self._engine: Optional[SIMDXEngine] = None
+        self._engine_version = -1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        algorithm: str,
+        source: Optional[int] = None,
+        **params,
+    ) -> CachedAnswer:
+        """Answer one query, reusing cached results when exact."""
+        if algorithm not in self._algorithms:
+            raise KeyError(f"unknown algorithm {algorithm!r}")
+        version = self.dyn.version
+        entry = self.cache.lookup(algorithm, source, params, version=version)
+
+        if entry is not None and entry.version == version:
+            return self._answer(entry.values, "hit", version, None)
+
+        if (
+            entry is not None
+            and algorithm in REPAIRABLE_ALGORITHMS
+        ):
+            chain = self.dyn.receipts_since(entry.version)
+            if chain is not None and len(chain) <= self.max_repair_chain:
+                values = entry.values
+                result = None
+                for receipt in chain:
+                    result = self._recompute.run(
+                        receipt, self._make(algorithm, source, params), values
+                    )
+                    if result.failed:
+                        break
+                    values = result.values
+                if result is not None and not result.failed:
+                    self.cache.store(
+                        algorithm, source, params, values, version=version
+                    )
+                    return self._answer(values, "repair", version, result)
+
+        result = self._run_scratch(algorithm, source, params)
+        if result.failed:
+            raise RuntimeError(
+                f"engine failed {algorithm} query: {result.failure_reason}"
+            )
+        self.cache.store(
+            algorithm, source, params, result.values, version=version
+        )
+        return self._answer(result.values, "miss", version, result)
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        *,
+        inserts=None,
+        insert_weights=None,
+        deletes=None,
+        refresh_landmarks: bool = True,
+    ) -> UpdateReceipt:
+        """Apply one edge-update batch; optionally keep landmarks warm."""
+        receipt = self.dyn.apply(
+            EdgeUpdateBatch.of(
+                inserts=inserts,
+                insert_weights=insert_weights,
+                deletes=deletes,
+            )
+        )
+        if refresh_landmarks:
+            self.cache.refresh_landmarks(
+                receipt,
+                algorithms=self._algorithms,
+                config=self.config,
+                device=self.device,
+            )
+        return receipt
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        return {**self.cache.stats, **self.dyn.stats()}
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make(self, algorithm: str, source: Optional[int], params: Mapping):
+        factory = self._algorithms[algorithm]
+        if source is None:
+            return factory(**params)
+        return factory(source=int(source), **params)
+
+    def _run_scratch(
+        self, algorithm: str, source: Optional[int], params: Mapping
+    ) -> RunResult:
+        version = self.dyn.version
+        if self._engine is None or self._engine_version != version:
+            self._engine = SIMDXEngine(
+                self.dyn.snapshot(), device=self.device, config=self.config
+            )
+            self._engine_version = version
+        return self._engine.run(self._make(algorithm, source, params))
+
+    def _answer(
+        self,
+        values: np.ndarray,
+        outcome: str,
+        version: int,
+        result: Optional[RunResult],
+    ) -> CachedAnswer:
+        extra = {
+            extra_keys.CACHE_OUTCOME: outcome,
+            extra_keys.DYN_GRAPH_VERSION: version,
+        }
+        if self.config is not None and self.config.sanitize:
+            from repro.analysis.sanitizer import validate_dyn_extra
+
+            validate_dyn_extra(extra, raise_on_violation=True)
+        return CachedAnswer(
+            values=np.array(values, copy=True),
+            outcome=outcome,
+            version=version,
+            result=result,
+            extra=extra,
+        )

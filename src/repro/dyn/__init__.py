@@ -1,0 +1,33 @@
+"""Dynamic graph updates and incremental recompute (docs/dynamic.md).
+
+Two pieces:
+
+* :mod:`repro.dyn.overlay` - a delta overlay over the immutable
+  :class:`repro.graph.csr.CSRGraph`: edge insert/delete batches accumulate
+  in a small dictionary, every query runs against a materialized CSR
+  snapshot, and a periodic rebuild folds the overlay back into the base
+  CSR (invalidating the lazily-cached in-CSR transpose along the way).
+* :mod:`repro.dyn.incremental` - incremental recompute for the monotone
+  min-combine algorithms (BFS/SSSP/WCC): repair a previous result from
+  the affected frontier instead of rerunning from scratch, with results
+  bit-identical to a from-scratch engine run (the exactness contract the
+  differential fuzz harness enforces).
+"""
+
+from repro.dyn.overlay import DynamicGraph, EdgeUpdateBatch, UpdateReceipt
+from repro.dyn.incremental import (
+    REPAIRABLE_ALGORITHMS,
+    IncrementalRecompute,
+    RepairPlan,
+    plan_repair,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "EdgeUpdateBatch",
+    "UpdateReceipt",
+    "REPAIRABLE_ALGORITHMS",
+    "IncrementalRecompute",
+    "RepairPlan",
+    "plan_repair",
+]

@@ -6,6 +6,7 @@ of ``asyncio.open_connection``. Requests::
 
     {"algorithm": "bfs", "source": 3}
     {"algorithm": "sssp", "source": 7, "params": {"delta": 4.0}}
+    {"cmd": "update", "inserts": [[3, 9]], "deletes": [[4, 7]]}
     {"cmd": "stats"}
 
 Responses carry a summary instead of the raw per-vertex array (which is
@@ -50,6 +51,16 @@ async def _process(server: SIMDXServer, request: dict) -> dict:
     """One request -> one response payload (exceptions become errors)."""
     if request.get("cmd") == "stats":
         return {"ok": True, "stats": server.stats}
+    if request.get("cmd") == "update":
+        try:
+            receipt = await server.update(
+                inserts=request.get("inserts"),
+                insert_weights=request.get("insert_weights"),
+                deletes=request.get("deletes"),
+            )
+        except (ValueError, TypeError) as exc:
+            return {"ok": False, "error": "bad_update", "detail": str(exc)}
+        return {"ok": True, **receipt}
     try:
         result = await server.submit(
             request["algorithm"],
@@ -64,6 +75,7 @@ async def _process(server: SIMDXServer, request: dict) -> dict:
         return {"ok": False, "error": "bad_request", "detail": str(exc)}
     payload = {
         "ok": True,
+        "cache_outcome": result.extra.get("cache_outcome", "miss"),
         "lane": result.lane,
         "batch_size": result.batch_size,
         "iterations": result.iterations,
@@ -111,9 +123,13 @@ async def _handle_client(
 
                 responses.put_nowait(asyncio.ensure_future(_echo()))
                 continue
-            responses.put_nowait(
-                asyncio.ensure_future(_process(server, request))
-            )
+            task = asyncio.ensure_future(_process(server, request))
+            responses.put_nowait(task)
+            if request.get("cmd") == "update":
+                # Barrier: later lines on this connection must observe the
+                # new graph version (no stale cache hits after the client
+                # could have seen the update's acknowledgement).
+                await task
         responses.put_nowait(None)
         await writer_task
     except (asyncio.CancelledError, ConnectionResetError):
@@ -161,6 +177,26 @@ async def _demo(server: SIMDXServer, host: str, port: int, count: int) -> int:
               f"-> {status}, batch={response.get('batch_size')}, "
               f"reached={response.get('reached')}, "
               f"wait={response.get('queue_wait_ms', 0):.2f}ms")
+    # Exercise the dynamic-update path: insert two hub-to-hub edges, then
+    # repeat the first query - the cache entry is stale after the update,
+    # so the server re-runs it on the new snapshot.
+    update = {"cmd": "update",
+              "inserts": [[int(hubs[0]), int(hubs[-1])],
+                          [int(hubs[-1]), int(hubs[1 % len(hubs)])]]}
+    writer.write((json.dumps(update) + "\n").encode())
+    await writer.drain()
+    applied = json.loads(await reader.readline())
+    print(f"update -> ok={applied.get('ok')}, "
+          f"version={applied.get('version')}, "
+          f"inserted={applied.get('inserted')}")
+    for _ in range(2):  # first re-runs at the new version, second hits
+        writer.write((json.dumps(requests[0]) + "\n").encode())
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        print(f"{requests[0]['algorithm']:>5} "
+              f"src={requests[0]['source']:<8} "
+              f"-> {response.get('cache_outcome')}, "
+              f"reached={response.get('reached')}")
     writer.write((json.dumps({"cmd": "stats"}) + "\n").encode())
     await writer.drain()
     stats = json.loads(await reader.readline())["stats"]
@@ -209,6 +245,7 @@ def main(argv: Optional[list] = None) -> int:
         ),
         config=EngineConfig(),
         use_executor=True,
+        cache=True,
     )
     if args.demo is not None:
         return asyncio.run(_demo(server, args.host, args.port, args.demo))

@@ -26,6 +26,24 @@ The unhappy paths are part of the contract:
   every queued query (ignoring ``max_wait_ms``) and resolves all
   in-flight futures before returning.
 
+Two request types beyond plain queries (docs/dynamic.md, docs/caching.md):
+
+* **updates** - ``await update(inserts=..., deletes=...)`` enqueues an
+  edge-update batch against the server's
+  :class:`~repro.dyn.overlay.DynamicGraph`. Updates apply *between*
+  batches on the dispatch loop (a dispatched batch always runs against
+  one consistent snapshot); the awaited future resolves once the update
+  is live, so a caller that awaits it sees every later query answered on
+  the new graph version. Applying an update swaps in an engine on the new
+  snapshot and eagerly repairs the cache's landmark entries.
+* **cache** - constructed with ``cache=True`` (or a
+  :class:`~repro.cache.results.ResultCache`), ``submit`` consults the
+  cache *before* batch admission: a hit at the current graph version
+  resolves immediately with the stored values - bit-identical to what a
+  batch lane would return - and never occupies queue or batch capacity
+  (``tests/test_serve.py`` pins that). Cache-served results carry
+  ``lane=-1, batch_index=-1, batch_size=0``.
+
 The engine's ``run_batch`` is synchronous and CPU-bound (the GPU is
 simulated), so by default it runs inline on the event loop - dispatches
 serialize, which is also what one physical device would do. Pass
@@ -43,8 +61,10 @@ import numpy as np
 
 from repro.algorithms import ALGORITHMS
 from repro.analysis import registry as extra_keys
+from repro.cache.results import ResultCache
 from repro.core.engine import EngineConfig, SIMDXEngine
 from repro.core.metrics import BatchRunResult
+from repro.dyn.overlay import DynamicGraph, EdgeUpdateBatch
 from repro.gpu.device import GPUDevice, K40
 from repro.serve.batcher import BatchFormer, PendingQuery
 from repro.serve.policy import AdmissionPolicy, ServerOverloaded
@@ -75,7 +95,8 @@ class ServedResult:
 
     #: This query's metadata values (lane slice of the batch result).
     values: np.ndarray
-    #: Lane index the query occupied in its batch.
+    #: Lane index the query occupied in its batch; -1 for a result served
+    #: from the cache (which never occupied a lane).
     lane: int
     #: Index of the batch in :attr:`SIMDXServer.batch_log` - with
     #: ``lane``, the exact coordinates to replay this query's answer
@@ -118,16 +139,37 @@ class SIMDXServer:
         device: Optional[GPUDevice] = None,
         algorithms: Optional[Dict[str, Callable]] = None,
         use_executor: bool = False,
+        cache: Optional[object] = None,
     ):
-        self.graph = graph
+        #: The dynamic-graph overlay behind ``update``. A plain CSRGraph
+        #: is wrapped (its snapshot is the graph itself until the first
+        #: update); pass a DynamicGraph to control rebuild_threshold.
+        self.dyn = (
+            graph if isinstance(graph, DynamicGraph) else DynamicGraph(graph)
+        )
+        self.graph = self.dyn.snapshot()
         self.policy = policy if policy is not None else AdmissionPolicy()
         #: One engine, reused across every dispatched batch - the
         #: engine-reuse contract ``tests/test_engine_reuse.py`` pins
-        #: (consecutive runs bit-identical to fresh-engine runs).
+        #: (consecutive runs bit-identical to fresh-engine runs). An
+        #: applied update swaps in a fresh engine on the new snapshot
+        #: (graph-derived caches - classifiers, in-degrees, transpose -
+        #: belong to one immutable graph).
         self.engine = SIMDXEngine(
-            graph, device=device if device is not None else GPUDevice(K40),
+            self.graph,
+            device=device if device is not None else GPUDevice(K40),
             config=config,
         )
+        #: Result cache consulted by ``submit`` before batch admission;
+        #: None disables reuse. ``cache=True`` builds a default
+        #: ResultCache.
+        # Not ``cache or None``: an *empty* ResultCache is falsy (len 0).
+        if cache is True:
+            self.cache: Optional[ResultCache] = ResultCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
         self._algorithms = dict(
             algorithms if algorithms is not None else SERVABLE_ALGORITHMS
         )
@@ -150,6 +192,9 @@ class SIMDXServer:
         #: queue and before the engine runs - the only window in which a
         #: caller counts as "cancelled after dispatch".
         self._before_dispatch: Optional[Callable[[List[PendingQuery]], None]] = None
+        #: Pending (EdgeUpdateBatch, future) pairs the dispatch loop
+        #: applies between batches.
+        self._updates: List[tuple] = []
         self._stats: Dict[str, float] = {
             "submitted": 0,
             "served": 0,
@@ -157,6 +202,8 @@ class SIMDXServer:
             "cancelled_after_dispatch": 0,
             "failed": 0,
             "batches": 0,
+            "cache_hits": 0,
+            "updates": 0,
         }
 
     @property
@@ -232,6 +279,30 @@ class SIMDXServer:
                 raise ValueError(
                     f"unknown {algorithm} parameter {key!r} in params"
                 )
+        # Cache consult happens *before* batch admission: a hit at the
+        # current graph version is served from the stored values (which
+        # came out of an engine run or an exact repair, so they are the
+        # bits a batch lane would return) and never consumes queue or
+        # batch capacity.
+        if self.cache is not None:
+            entry = self.cache.lookup(
+                algorithm, source, params, version=self.dyn.version
+            )
+            if entry is not None and entry.version == self.dyn.version:
+                self._stats["cache_hits"] += 1
+                return ServedResult(
+                    values=np.array(entry.values, copy=True),
+                    lane=-1,
+                    batch_index=-1,
+                    batch_size=0,
+                    iterations=0,
+                    elapsed_us=0.0,
+                    queue_wait_s=0.0,
+                    extra={
+                        extra_keys.CACHE_OUTCOME: "hit",
+                        extra_keys.DYN_GRAPH_VERSION: self.dyn.version,
+                    },
+                )
         if self._dispatch_task is None:
             await self.start()
         loop = asyncio.get_event_loop()
@@ -252,11 +323,89 @@ class SIMDXServer:
         return await query.future
 
     # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    async def update(
+        self,
+        *,
+        inserts=None,
+        insert_weights=None,
+        deletes=None,
+    ) -> Dict[str, object]:
+        """Apply one edge-update batch; resolves once the update is live.
+
+        The batch is validated synchronously (range / self-loop errors
+        raise here, before anything is enqueued) and applied on the
+        dispatch loop between batches, so every dispatched batch runs
+        against one consistent snapshot. The resolved dict reports the
+        new graph version, what the batch changed and how many landmark
+        cache entries were repaired forward.
+        """
+        if self._closed:
+            raise RuntimeError("server is shut down")
+        batch = EdgeUpdateBatch.of(
+            inserts=inserts, insert_weights=insert_weights, deletes=deletes
+        )
+        n = self.graph.num_vertices
+        for pairs in (batch.inserts, batch.deletes):
+            if pairs.size:
+                if pairs.min() < 0 or pairs.max() >= n:
+                    raise ValueError(
+                        f"update vertex id out of range for {n}-vertex graph"
+                    )
+                if bool((pairs[:, 0] == pairs[:, 1]).any()):
+                    raise ValueError("self-loop updates are not supported")
+        if self._dispatch_task is None:
+            await self.start()
+        loop = asyncio.get_event_loop()
+        future = loop.create_future()
+        self._updates.append((batch, future))
+        self._wake.set()
+        return await future
+
+    def _apply_pending_updates(self) -> None:
+        """Apply queued updates; runs on the dispatch loop between batches."""
+        while self._updates:
+            batch, future = self._updates.pop(0)
+            try:
+                receipt = self.dyn.apply(batch)
+            except Exception as exc:  # noqa: BLE001 - caller's batch, caller's error
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            self.graph = self.dyn.snapshot()
+            self.engine = SIMDXEngine(
+                self.graph,
+                device=self.engine.device,
+                config=self.engine.config,
+            )
+            self._stats["updates"] += 1
+            refreshed = 0
+            if self.cache is not None:
+                refreshed = self.cache.refresh_landmarks(
+                    receipt,
+                    algorithms=self._algorithms,
+                    config=self.engine.config,
+                )
+            if not future.done():
+                future.set_result(
+                    {
+                        "version": self.dyn.version,
+                        "inserted": int(receipt.insert_edges.shape[0]),
+                        "deleted": int(receipt.delete_edges.shape[0]),
+                        "pending_edges": self.dyn.pending_edges,
+                        "rebuilds": self.dyn.rebuilds,
+                        "landmarks_refreshed": refreshed,
+                    }
+                )
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
         loop = asyncio.get_event_loop()
         while True:
+            self._apply_pending_updates()
             batch = self._former.next_batch(loop.time())
             if batch is not None:
                 await self._dispatch(batch)
@@ -276,6 +425,7 @@ class SIMDXServer:
         # every queued query pops (force=True ignores the dispatch
         # policy) so no caller is left awaiting a forgotten future.
         while True:
+            self._apply_pending_updates()
             batch = self._former.next_batch(loop.time(), force=True)
             if batch is None:
                 break
@@ -285,6 +435,8 @@ class SIMDXServer:
                 for query in batch:
                     if not query.future.done():
                         query.future.cancel()
+        # Updates that arrived during the drain still resolve.
+        self._apply_pending_updates()
 
     async def _dispatch(self, batch: List[PendingQuery]) -> None:
         loop = asyncio.get_event_loop()
@@ -306,6 +458,9 @@ class SIMDXServer:
                     [dict(p) for p in lane_params]
                     if lane_params is not None else None
                 ),
+                # Snapshot version the batch ran against: replaying a log
+                # that interleaves updates must rebuild this version.
+                "graph_version": self.dyn.version,
             }
         )
         self._stats["batches"] += 1
@@ -335,6 +490,19 @@ class SIMDXServer:
         extra[extra_keys.SERVE_QUEUE_WAIT_US] = float(
             1e6 * sum(waits) / len(waits)
         )
+        extra[extra_keys.DYN_GRAPH_VERSION] = self.dyn.version
+        if self.cache is not None:
+            # Updates only apply between dispatches on this same loop, so
+            # the current version is the version the batch ran against.
+            version = self.dyn.version
+            for lane, query in enumerate(batch):
+                self.cache.store(
+                    query.algorithm,
+                    query.source,
+                    query.params,
+                    result.values[lane],
+                    version=version,
+                )
         for lane, query in enumerate(batch):
             if query.future.done():
                 # Cancelled between dispatch and demultiplex: the lane ran

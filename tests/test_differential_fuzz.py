@@ -506,3 +506,152 @@ def test_slow_matrix_sharded_batched(shape, seed, case_name):
         graph, case_name, seed, lane_counts=(1, 4, 16),
         backends=KERNEL_BACKENDS,
     )
+
+
+# ----------------------------------------------------------------------
+# Dynamic-graph axis (src/repro/dyn/ + src/repro/cache/)
+# ----------------------------------------------------------------------
+#: Algorithms queried through the dynamic axis: the repairable monotone
+#: trio (exercising incremental repair) plus SSSP's delta-stepping
+#: configuration (same repair plan, different scheduler).
+DYN_CASES = ("bfs", "sssp", "sssp-delta", "wcc")
+
+
+def _dyn_make(case_name, source):
+    if case_name == "bfs":
+        return BFS(source=source)
+    if case_name == "sssp":
+        return SSSP(source=source)
+    if case_name == "sssp-delta":
+        return SSSP(source=source, delta=8.0)
+    if case_name == "wcc":
+        return WCC()
+    raise KeyError(case_name)
+
+
+def _dyn_random_batch(dyn, rng):
+    """A seeded random insert+delete batch against the current edge set."""
+    n = dyn.num_vertices
+    ins = rng.integers(0, n, size=(int(rng.integers(2, 8)), 2))
+    ins = ins[ins[:, 0] != ins[:, 1]]
+    weights = rng.uniform(0.5, 3.0, size=len(ins))
+    edges = dyn.snapshot().to_edge_array()
+    picks = rng.choice(
+        len(edges), size=min(int(rng.integers(1, 6)), len(edges)),
+        replace=False,
+    )
+    return {"inserts": ins, "insert_weights": weights,
+            "deletes": edges[picks]}
+
+
+def _hub_source(graph, rng):
+    """A seeded pick among the top-degree vertices: a source that random
+    deletes could isolate makes delta-stepping spin through empty
+    buckets (slow, not wrong) - hubs keep the axis fast."""
+    order = np.argsort(-graph.out_degrees(), kind="stable")
+    return int(order[rng.integers(0, max(1, graph.num_vertices // 8))])
+
+
+def _check_dyn_axis(graph, seed, *, rounds, num_shards=1):
+    """Random update batches interleaved with queries: warm incremental
+    repair must be bit-identical to a from-scratch run on every snapshot
+    (sanitize-clean under REPRO_SANITIZE=1)."""
+    from repro.dyn import DynamicGraph, EdgeUpdateBatch, IncrementalRecompute
+
+    config = _config(num_shards=num_shards) if num_shards > 1 else _config()
+    dyn = DynamicGraph(graph)
+    rng = np.random.default_rng(seed * 4099 + 17)
+    recompute = IncrementalRecompute(config=config)
+    source = _hub_source(graph, rng)
+    warm = {
+        case: SIMDXEngine(dyn.snapshot(), config=config)
+        .run(_dyn_make(case, source))
+        .values
+        for case in DYN_CASES
+    }
+    for _ in range(rounds):
+        receipt = dyn.apply(EdgeUpdateBatch.of(**_dyn_random_batch(dyn, rng)))
+        scratch_engine = SIMDXEngine(receipt.new_graph, config=config)
+        for case in DYN_CASES:
+            repaired = recompute.run(
+                receipt, _dyn_make(case, source), warm[case]
+            )
+            assert not repaired.failed, repaired.failure_reason
+            scratch = scratch_engine.run(_dyn_make(case, source))
+            assert not scratch.failed, scratch.failure_reason
+            assert np.array_equal(repaired.values, scratch.values), (
+                f"{case} incremental repair diverged from scratch at "
+                f"version {receipt.version} on {graph.name} "
+                f"(num_shards={num_shards})"
+            )
+            warm[case] = repaired.values
+
+
+def _check_dyn_cached_axis(graph, seed, *, rounds):
+    """The CachedQueryEngine path: every answer (hit / repair / miss)
+    must match a fresh from-scratch engine run on the current snapshot."""
+    from repro.cache import CachedQueryEngine
+
+    config = _config()
+    qe = CachedQueryEngine(graph, config=config)
+    rng = np.random.default_rng(seed * 5003 + 29)
+    # A small skewed source pool of hubs: repeats drive hits and repairs.
+    pool = [_hub_source(graph, rng) for _ in range(3)]
+    seen_outcomes = set()
+    for _ in range(rounds):
+        for _ in range(4):
+            case = DYN_CASES[int(rng.integers(0, len(DYN_CASES)))]
+            source = pool[int(rng.integers(0, len(pool)))]
+            name = "sssp" if case == "sssp-delta" else case
+            params = {"delta": 8.0} if case == "sssp-delta" else {}
+            answer = qe.query(name, None if name == "wcc" else source,
+                              **params)
+            seen_outcomes.add(answer.outcome)
+            algo = _dyn_make(case, source)
+            scratch = SIMDXEngine(qe.dyn.snapshot(), config=config).run(algo)
+            assert np.array_equal(answer.values, scratch.values), (
+                f"{case} cached answer ({answer.outcome}) diverged from "
+                f"scratch at version {qe.dyn.version} on {graph.name}"
+            )
+        qe.update(**_dyn_random_batch(qe.dyn, rng))
+    assert "hit" in seen_outcomes and "miss" in seen_outcomes
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+def test_small_matrix_dyn(shape, seed):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_axis(graph, seed, rounds=3)
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+def test_small_matrix_dyn_cached(shape, seed):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_cached_axis(graph, seed, rounds=2)
+
+
+@pytest.mark.parametrize("shape,seed", SMALL_MATRIX)
+def test_small_matrix_dyn_sharded(shape, seed):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_axis(graph, seed, rounds=2, num_shards=2)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+def test_slow_matrix_dyn(shape, seed):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_axis(graph, seed, rounds=6)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+def test_slow_matrix_dyn_cached(shape, seed):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_cached_axis(graph, seed, rounds=4)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,seed", SLOW_MATRIX)
+@pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+def test_slow_matrix_dyn_sharded(shape, seed, num_shards):
+    graph = GRAPH_SHAPES[shape](seed)
+    _check_dyn_axis(graph, seed, rounds=4, num_shards=num_shards)

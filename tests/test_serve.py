@@ -448,3 +448,202 @@ def test_served_differential_vs_direct_run_batch(graph):
         checked += 1
     assert checked == len(results) - 1  # all but the cancelled caller
     assert sum(len(log["sources"]) for log in server.batch_log) == checked
+
+
+# ----------------------------------------------------------------------
+# Dynamic updates and the result cache (docs/dynamic.md, docs/caching.md)
+# ----------------------------------------------------------------------
+def test_cache_hit_serves_without_a_batch(graph):
+    """A repeated query is served from the cache: sentinel lane -1, no
+    new batch, and the first answer's exact bits."""
+
+    async def scenario():
+        server = make_server(
+            graph,
+            AdmissionPolicy(max_batch=4, max_wait_ms=1.0),
+            cache=True,
+        )
+        async with server:
+            first = await server.submit("bfs", 3)
+            batches = server.stats["batches"]
+            second = await server.submit("bfs", 3)
+        return server, first, batches, second
+
+    server, first, batches, second = asyncio.run(scenario())
+    assert first.lane >= 0
+    assert second.lane == -1 and second.batch_index == -1
+    assert second.batch_size == 0 and second.queue_wait_s == 0.0
+    assert second.extra["cache_outcome"] == "hit"
+    assert server.stats["batches"] == batches  # no batch dispatched
+    assert server.stats["cache_hits"] == 1
+    np.testing.assert_array_equal(first.values, second.values)
+
+
+def test_cache_hit_does_not_consume_batch_capacity(graph):
+    """Hits bypass admission entirely: with the queue saturated at
+    ``max_queue``, a repeated query still answers instantly, sheds
+    nothing, and leaves the pending depth untouched."""
+
+    from repro.cache import ResultCache
+
+    # Prepopulate the cache with a direct run's bits - exactly what a
+    # served batch lane would have stored (the bit-identity contract).
+    warm = SIMDXEngine(
+        graph, device=GPUDevice(K40), config=serve_config()
+    ).run(BFS(source=3))
+    cache = ResultCache()
+    cache.store("bfs", 3, {}, warm.values, version=0)
+
+    async def scenario():
+        server = make_server(
+            graph,
+            AdmissionPolicy(
+                max_batch=6, max_wait_ms=NEVER_MS, max_queue=5
+            ),
+            cache=cache,
+        )
+        await server.start()
+        # Saturate the queue: 5 distinct queries, none dispatching
+        # (5 < max_batch, deadline far) - admission is full.
+        tasks = await submit_tasks(
+            server, [("bfs", 20 + i, None) for i in range(5)]
+        )
+        depth_before = server._former.depth
+        assert depth_before == 5
+        hit = await server.submit("bfs", 3)  # queue full, still answers
+        assert server._former.depth == depth_before
+        with pytest.raises(ServerOverloaded):
+            await server.submit("bfs", 50)  # misses still shed
+        await server.shutdown()  # drain dispatches the queued 5
+        results = await asyncio.gather(*tasks)
+        return server, hit, results
+
+    server, hit, results = asyncio.run(scenario())
+    assert hit.lane == -1
+    assert hit.extra["cache_outcome"] == "hit"
+    np.testing.assert_array_equal(warm.values, hit.values)
+    assert server.stats["shed"] == 1
+    assert len(results) == 5
+
+
+def test_update_bumps_version_and_serves_new_graph(graph):
+    """An update applies between batches; later queries run on the new
+    snapshot and match a direct engine run on it, bit for bit."""
+
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=4, max_wait_ms=1.0), cache=True
+        )
+        async with server:
+            before = await server.submit("bfs", 3)
+            receipt = await server.update(
+                inserts=[(3, 200), (7, 150)], deletes=[(5, 9)]
+            )
+            after = await server.submit("bfs", 3)
+            hit = await server.submit("bfs", 3)
+            snapshot = server.dyn.snapshot()
+        return server, before, receipt, after, hit, snapshot
+
+    server, before, receipt, after, hit, snapshot = asyncio.run(scenario())
+    assert receipt["version"] == 1 and server.dyn.version == 1
+    assert server.stats["updates"] == 1
+    # The stale entry was not served: the post-update answer re-ran.
+    assert after.lane >= 0
+    assert after.extra["dyn_graph_version"] == 1
+    direct = SIMDXEngine(snapshot, config=serve_config()).run(BFS(source=3))
+    np.testing.assert_array_equal(after.values, direct.values)
+    # And the re-run repopulated the cache at the new version.
+    assert hit.lane == -1 and hit.extra["dyn_graph_version"] == 1
+    np.testing.assert_array_equal(hit.values, direct.values)
+    # Both dispatched batches logged the version they ran at.
+    assert [e["graph_version"] for e in server.batch_log] == [0, 1]
+
+
+def test_update_validation_rejects_bad_edges(graph):
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=4, max_wait_ms=1.0)
+        )
+        async with server:
+            with pytest.raises(ValueError):
+                await server.update(inserts=[(0, 0)])
+            with pytest.raises(ValueError):
+                await server.update(deletes=[(0, graph.num_vertices)])
+        return server
+
+    server = asyncio.run(scenario())
+    assert server.dyn.version == 0
+    assert server.stats["updates"] == 0
+
+
+def test_update_refreshes_landmarks(graph):
+    """A hot source stays an exact hit across an update: the server's
+    eager landmark refresh repairs the pinned entry to the new version."""
+    from repro.cache import ResultCache
+
+    async def scenario():
+        cache = ResultCache(landmark_threshold=2)
+        server = make_server(
+            graph,
+            AdmissionPolicy(max_batch=4, max_wait_ms=1.0),
+            cache=cache,
+        )
+        async with server:
+            await server.submit("bfs", 3)
+            await server.submit("bfs", 3)
+            await server.submit("bfs", 3)  # promoted to landmark
+            receipt = await server.update(inserts=[(3, 200)])
+            answer = await server.submit("bfs", 3)
+            snapshot = server.dyn.snapshot()
+        return cache, receipt, answer, snapshot
+
+    cache, receipt, answer, snapshot = asyncio.run(scenario())
+    assert receipt["landmarks_refreshed"] == 1
+    assert answer.lane == -1  # still an exact hit, at the new version
+    assert answer.extra["dyn_graph_version"] == 1
+    direct = SIMDXEngine(snapshot, config=serve_config()).run(BFS(source=3))
+    np.testing.assert_array_equal(answer.values, direct.values)
+
+
+def test_served_differential_after_updates(graph):
+    """The served-vs-direct differential across a version change: every
+    logged batch replays bit-identically against the snapshot of the
+    ``graph_version`` it ran at."""
+
+    async def scenario():
+        server = make_server(
+            graph, AdmissionPolicy(max_batch=2, max_wait_ms=NEVER_MS)
+        )
+        snapshots = {}
+        async with server:
+            snapshots[0] = server.dyn.snapshot()
+            tasks = await submit_tasks(
+                server, [("bfs", 3, None), ("bfs", 5, None)]
+            )
+            first = await asyncio.gather(*tasks)
+            await server.update(inserts=[(3, 180), (11, 90)])
+            snapshots[1] = server.dyn.snapshot()
+            tasks = await submit_tasks(
+                server, [("sssp", 3, None), ("sssp", 7, None)]
+            )
+            second = await asyncio.gather(*tasks)
+        return server, snapshots, first + second
+
+    server, snapshots, results = asyncio.run(scenario())
+    classes = {"bfs": BFS, "sssp": SSSP}
+    replays = []
+    for log in server.batch_log:
+        engine = SIMDXEngine(
+            snapshots[log["graph_version"]], config=serve_config()
+        )
+        replays.append(
+            engine.run_batch(
+                classes[log["algorithm"]](source=log["sources"][0]),
+                log["sources"],
+                lane_params=log["lane_params"],
+            )
+        )
+    for result in results:
+        replay = replays[result.batch_index]
+        assert not replay.failed
+        assert np.array_equal(result.values, replay.values[result.lane])

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Check that every ``src/repro/`` package is documented.
+
+Usage:  python tools/docs_coverage.py [--repo ROOT]
+
+A package counts as documented when its import path (``repro.serve``)
+or its source path (``src/repro/serve``, ``serve/``) appears in at
+least one Markdown page under ``docs/`` or in ``README.md``. The check
+is deliberately shallow — it keeps the docs index honest (a new
+subsystem cannot land without at least a pointer), it does not grade
+prose quality.
+
+Exit status 0 when every package is mentioned, 1 otherwise (the
+missing packages are listed, one per line). CI's docs job runs this
+after executing the doc code blocks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+
+def discover_packages(repo: Path) -> list:
+    """Every directory under src/repro/ with an ``__init__.py``."""
+    root = repo / "src" / "repro"
+    return sorted(
+        p.parent.relative_to(root).as_posix()
+        for p in root.rglob("__init__.py")
+        if p.parent != root
+    )
+
+
+def documentation_corpus(repo: Path) -> str:
+    parts = []
+    readme = repo / "README.md"
+    if readme.is_file():
+        parts.append(readme.read_text(encoding="utf-8"))
+    docs = repo / "docs"
+    if docs.is_dir():
+        for page in sorted(docs.glob("*.md")):
+            parts.append(page.read_text(encoding="utf-8"))
+    return "\n".join(parts)
+
+
+def mentioned(package: str, corpus: str) -> bool:
+    """True when any accepted spelling of the package appears."""
+    spellings = [
+        f"repro.{package.replace('/', '.')}",   # import path
+        f"src/repro/{package}",                 # repo path
+        f"repro/{package}",                     # short repo path
+    ]
+    if "/" not in package:
+        # Top-level packages are routinely cited as `serve/policy.py`
+        # style module paths in docs/architecture.md.
+        spellings.append(f"`{package}/")
+        spellings.append(f"[`{package}/")
+    pattern = "|".join(re.escape(s) for s in spellings)
+    return re.search(pattern, corpus) is not None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repo",
+        default=str(Path(__file__).resolve().parent.parent),
+        help="repository root (default: the checkout containing this tool)",
+    )
+    args = parser.parse_args(argv)
+    repo = Path(args.repo)
+
+    packages = discover_packages(repo)
+    if not packages:
+        print("docs_coverage: no packages found under src/repro/",
+              file=sys.stderr)
+        return 1
+
+    corpus = documentation_corpus(repo)
+    missing = [p for p in packages if not mentioned(p, corpus)]
+
+    if missing:
+        print("docs_coverage: packages with no mention in README.md or "
+              "docs/*.md:", file=sys.stderr)
+        for package in missing:
+            print(f"  src/repro/{package}", file=sys.stderr)
+        return 1
+
+    print(f"docs_coverage: {len(packages)} package(s) documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
